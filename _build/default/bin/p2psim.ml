@@ -1,0 +1,384 @@
+(* p2psim — command-line driver for every experiment in the reproduction.
+
+     dune exec bin/p2psim.exe -- route --nodes 4096 --src 17 --dst 3967
+     dune exec bin/p2psim.exe -- figure5 --nodes 4096 --links 12
+     dune exec bin/p2psim.exe -- figure6 --nodes 16384
+     dune exec bin/p2psim.exe -- figure7
+     dune exec bin/p2psim.exe -- table1
+     dune exec bin/p2psim.exe -- adversary
+     dune exec bin/p2psim.exe -- byzantine
+     dune exec bin/p2psim.exe -- recovery --kill 0.3
+     dune exec bin/p2psim.exe -- anatomy
+     dune exec bin/p2psim.exe -- dht --replicas 3 --fail 0.3
+     dune exec bin/p2psim.exe -- churn --duration 2000 *)
+
+module E = Ftr_core.Experiment
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Theory = Ftr_core.Theory
+module Rng = Ftr_prng.Rng
+open Cmdliner
+
+(* Shared options *)
+
+let seed_t =
+  Arg.(value & opt int 2002 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (reproducible).")
+
+let n_t default =
+  Arg.(
+    value & opt int default
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes on the line.")
+
+let links_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "links" ] ~docv:"L" ~doc:"Long links per node (default: lg N).")
+
+let networks_t default =
+  Arg.(
+    value & opt int default
+    & info [ "networks" ] ~docv:"K" ~doc:"Independent networks to average over.")
+
+let messages_t default =
+  Arg.(
+    value & opt int default
+    & info [ "messages" ] ~docv:"M" ~doc:"Messages routed per network and data point.")
+
+let resolve_links n = function Some l -> l | None -> int_of_float (Theory.lg n)
+
+(* route *)
+
+let route_cmd =
+  let run n links seed src dst fraction strategy =
+    let links = resolve_links n links in
+    let rng = Rng.of_int seed in
+    let net = Network.build_ideal ~n ~links rng in
+    let src = ((src mod n) + n) mod n and dst = ((dst mod n) + n) mod n in
+    let strategy =
+      match strategy with
+      | "terminate" -> Route.Terminate
+      | "reroute" -> Route.Random_reroute { attempts = 1 }
+      | "backtrack" -> Route.Backtrack { history = 5 }
+      | s -> failwith (Printf.sprintf "unknown strategy %S" s)
+    in
+    let failures, live_guard =
+      if fraction > 0.0 then begin
+        let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction in
+        (Ftr_core.Failure.of_node_mask mask, fun v -> Ftr_graph.Bitset.get mask v)
+      end
+      else (Ftr_core.Failure.none, fun _ -> true)
+    in
+    if not (live_guard src && live_guard dst) then
+      print_endline "an endpoint fell in the failed set; rerun with another --seed"
+    else begin
+      let outcome, path = Route.route_path ~failures ~strategy ~rng net ~src ~dst in
+      (match outcome with
+      | Route.Delivered { hops } ->
+          Printf.printf "delivered in %d hops (loop-erased path: %d)\n" hops
+            (Route.loop_erased_length path)
+      | Route.Failed { hops; stuck_at; _ } ->
+          Printf.printf "FAILED after %d hops, stuck at node %d\n" hops stuck_at);
+      Printf.printf "route: %s\n" (String.concat " -> " (List.map string_of_int path))
+    end
+  in
+  let src_t = Arg.(value & opt int 0 & info [ "src" ] ~docv:"SRC" ~doc:"Source node.") in
+  let dst_t = Arg.(value & opt int (-1) & info [ "dst" ] ~docv:"DST" ~doc:"Destination node.") in
+  let fraction_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fail" ] ~docv:"P" ~doc:"Fraction of nodes to fail before routing.")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "backtrack"
+      & info [ "strategy" ] ~docv:"S" ~doc:"terminate | reroute | backtrack.")
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route one message and print the route it took")
+    Term.(const run $ n_t 4096 $ links_t $ seed_t $ src_t $ dst_t $ fraction_t $ strategy_t)
+
+(* figure5 *)
+
+let figure5_cmd =
+  let run n links seed networks oldest =
+    let links = resolve_links n links in
+    let replacement =
+      if oldest then Ftr_core.Heuristic.Oldest else Ftr_core.Heuristic.Proportional
+    in
+    let r = E.figure5 ~replacement ~networks ~n ~links ~seed () in
+    Printf.printf "%10s %12s %12s %12s\n" "length" "derived" "ideal" "error";
+    List.iter
+      (fun p -> Printf.printf "%10d %12.6f %12.6f %+12.6f\n" p.E.length p.E.derived p.E.ideal p.E.error)
+      r.E.points;
+    Printf.printf "max |error| = %.4f at length %d; total variation = %.4f\n" r.E.max_abs_error
+      r.E.max_abs_error_length r.E.total_variation
+  in
+  let oldest_t =
+    Arg.(value & flag & info [ "oldest" ] ~doc:"Use the oldest-link replacement strategy.")
+  in
+  Cmd.v
+    (Cmd.info "figure5" ~doc:"Heuristic link-length distribution vs the ideal 1/d law")
+    Term.(const run $ n_t 4096 $ links_t $ seed_t $ networks_t 3 $ oldest_t)
+
+(* figure6 *)
+
+let figure6_cmd =
+  let run n links seed networks messages =
+    let links = resolve_links n links in
+    Printf.printf "%8s | %18s | %18s | %26s\n" "p" "terminate" "re-route" "backtrack(5)";
+    Printf.printf "%8s | %8s %9s | %8s %9s | %8s %9s %7s\n" "" "failed" "hops" "failed" "hops"
+      "failed" "hops" "path";
+    List.iter
+      (fun r ->
+        Printf.printf "%8.2f | %8.4f %9.2f | %8.4f %9.2f | %8.4f %9.2f %7.2f\n" r.E.fail_fraction
+          r.E.terminate.E.failed_fraction r.E.terminate.E.mean_hops
+          r.E.reroute.E.failed_fraction r.E.reroute.E.mean_hops
+          r.E.backtrack.E.failed_fraction r.E.backtrack.E.mean_hops
+          r.E.backtrack.E.mean_path_hops)
+      (E.figure6 ~n ~links ~networks ~messages ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "figure6" ~doc:"Failure strategies under a sweep of node-failure fractions")
+    Term.(const run $ n_t (1 lsl 14) $ links_t $ seed_t $ networks_t 3 $ messages_t 300)
+
+(* figure7 *)
+
+let figure7_cmd =
+  let run n links seed networks messages =
+    let links = resolve_links n links in
+    Printf.printf "%12s %14s %18s\n" "p(node fail)" "ideal failed" "constructed failed";
+    List.iter
+      (fun r -> Printf.printf "%12.2f %14.4f %18.4f\n" r.E.death_p r.E.ideal_failed r.E.constructed_failed)
+      (E.figure7 ~n ~links ~networks ~messages ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "figure7" ~doc:"Ideal vs heuristically constructed network under failures")
+    Term.(const run $ n_t 4096 $ links_t $ seed_t $ networks_t 3 $ messages_t 300)
+
+(* table1 *)
+
+let table1_cmd =
+  let run n seed networks messages =
+    let show header rows =
+      Printf.printf "\n-- %s --\n%24s %12s %12s %12s %8s\n" header "row" "param" "measured"
+        "bound" "ratio";
+      List.iter
+        (fun r ->
+          Printf.printf "%24s %12.3f %12.2f %12.2f %8.3f\n" r.E.label r.E.parameter r.E.measured
+            r.E.bound r.E.ratio)
+        rows
+    in
+    let ns = [ n / 64; n / 16; n / 4; n ] in
+    show "Theorem 12 (1 link)" (E.sweep_single_link ~ns ~networks ~messages ~seed ());
+    show "Theorem 13 (l links)"
+      (E.sweep_multi_link ~n ~links_list:[ 1; 2; 4; 8 ] ~networks ~messages ~seed ());
+    show "Theorem 14 (deterministic)" (E.sweep_deterministic ~ns ~base:2 ~messages ~seed ());
+    show "Theorem 15 (link failures)"
+      (E.sweep_link_failure ~n ~probs:[ 1.0; 0.6; 0.2 ] ~networks ~messages ~seed ());
+    show "Theorem 16 (geometric links)"
+      (E.sweep_geometric_link_failure ~n ~base:2 ~probs:[ 1.0; 0.6 ] ~networks ~messages ~seed ());
+    show "Theorem 17 (binomial nodes)"
+      (E.sweep_binomial_nodes ~n ~probs:[ 1.0; 0.5 ] ~networks ~messages ~seed ());
+    show "Theorem 18 (node failures)"
+      (E.sweep_node_failure ~n ~probs:[ 0.0; 0.3; 0.6 ] ~networks ~messages ~seed ());
+    show "Theorem 10 (lower bound)" (E.sweep_lower_bound ~ns ~links:3 ~trials:300 ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Every Table 1 bound against simulation")
+    Term.(const run $ n_t (1 lsl 14) $ seed_t $ networks_t 3 $ messages_t 200)
+
+(* adversary *)
+
+let adversary_cmd =
+  let run n seed trials =
+    let r = Ftr_core.Adversary.isolation_experiment ~n ~trials ~seed () in
+    Printf.printf "adversary budget: %d kills (the structural positions target±2^i)\n"
+      r.Ftr_core.Adversary.kills;
+    Printf.printf "geometric (Theorem 16) network: %6.4f of searches to the target fail\n"
+      r.Ftr_core.Adversary.geometric_failed;
+    Printf.printf "randomized 1/d network:         %6.4f of searches to the target fail\n"
+      r.Ftr_core.Adversary.random_failed
+  in
+  let trials_t =
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"T" ~doc:"Random targets to attack.")
+  in
+  Cmd.v
+    (Cmd.info "adversary"
+       ~doc:"Targeted failures (Section 4.3.4.2): deterministic vs random links")
+    Term.(const run $ n_t 4096 $ seed_t $ trials_t)
+
+(* byzantine *)
+
+let byzantine_cmd =
+  let run n seed networks messages =
+    Printf.printf "%10s %12s %12s %12s %14s\n" "byzantine" "naive" "retry" "backtrack"
+      "wasted/search";
+    List.iter
+      (fun r ->
+        Printf.printf "%10.2f %12.4f %12.4f %12.4f %14.2f\n"
+          r.Ftr_core.Byzantine.byzantine_fraction r.Ftr_core.Byzantine.naive_failed
+          r.Ftr_core.Byzantine.retry_failed r.Ftr_core.Byzantine.backtrack_failed
+          r.Ftr_core.Byzantine.retry_wasted)
+      (Ftr_core.Byzantine.sweep ~n ~networks ~messages ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "byzantine" ~doc:"Blackhole adversary sweep with three defences")
+    Term.(const run $ n_t 4096 $ seed_t $ networks_t 3 $ messages_t 150)
+
+(* recovery *)
+
+let recovery_cmd =
+  let run n seed kill samples =
+    let r =
+      Ftr_p2p.Recovery.run ~line_size:n ~kill_fraction:kill ~samples ~seed ()
+    in
+    Printf.printf "killed %d of %d nodes at t=0\n" r.Ftr_p2p.Recovery.killed
+      r.Ftr_p2p.Recovery.initial_nodes;
+    Printf.printf "%8s %10s %18s %10s %10s\n" "time" "success" "probes/lookup" "hops" "repairs";
+    List.iter
+      (fun sm ->
+        Printf.printf "%8.0f %10.3f %18.2f %10.2f %10d\n" sm.Ftr_p2p.Recovery.time
+          sm.Ftr_p2p.Recovery.success_rate sm.Ftr_p2p.Recovery.probes_per_lookup
+          sm.Ftr_p2p.Recovery.mean_hops sm.Ftr_p2p.Recovery.repairs_so_far)
+      r.Ftr_p2p.Recovery.samples
+  in
+  let kill_t =
+    Arg.(value & opt float 0.3 & info [ "kill" ] ~docv:"P" ~doc:"Fraction crashed at t=0.")
+  in
+  let samples_t =
+    Arg.(value & opt int 10 & info [ "samples" ] ~docv:"K" ~doc:"Recovery curve samples.")
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc:"Self-healing curve after a mass crash")
+    Term.(const run $ n_t 4096 $ seed_t $ kill_t $ samples_t)
+
+(* anatomy *)
+
+let anatomy_cmd =
+  let run n links seed =
+    let links = resolve_links n links in
+    let rng = Rng.of_int seed in
+    Printf.printf "%26s %8s %8s %10s %9s %8s %8s %10s\n" "network" "out" "in(max)" "hotspot"
+      "med.len" "p90" "p99" "boundary";
+    List.iter
+      (fun (name, net) ->
+        let a = Ftr_core.Network_stats.anatomy net in
+        Printf.printf "%26s %8.1f %8d %9.1fx %9.0f %8.0f %8.0f %9.2fx\n" name
+          a.Ftr_core.Network_stats.mean_out_degree a.Ftr_core.Network_stats.max_in_degree
+          a.Ftr_core.Network_stats.in_degree_hotspot a.Ftr_core.Network_stats.median_length
+          a.Ftr_core.Network_stats.p90_length a.Ftr_core.Network_stats.p99_length
+          a.Ftr_core.Network_stats.boundary_distortion)
+      [
+        ("ideal 1/d line", Network.build_ideal ~n ~links (Rng.split rng));
+        ("ideal 1/d circle", Network.build_ring ~n ~links (Rng.split rng));
+        ("heuristic construction", Ftr_core.Heuristic.build ~n ~links (Rng.split rng));
+        ("geometric base-2", Network.build_geometric ~n ~base:2);
+        ("chord-like", Network.build_chordlike ~n ());
+      ]
+  in
+  Cmd.v
+    (Cmd.info "anatomy" ~doc:"Structural statistics of every network builder")
+    Term.(const run $ n_t 4096 $ links_t $ seed_t)
+
+(* dht *)
+
+let dht_cmd =
+  let run n links seed replicas fraction requests =
+    let links = resolve_links n links in
+    let rng = Rng.of_int seed in
+    let net = Network.build_ideal ~n ~links rng in
+    let store = Ftr_dht.Store.create ~replicas net in
+    let w = Ftr_dht.Workload.create ~universe:(max 10 (n / 8)) () in
+    Array.iter (fun k -> Ftr_dht.Store.put store ~key:k ~value:"v") (Ftr_dht.Workload.keys w);
+    let failures =
+      if fraction > 0.0 then
+        Ftr_core.Failure.of_node_mask (Ftr_core.Failure.random_node_fraction rng ~n ~fraction)
+      else Ftr_core.Failure.none
+    in
+    let report =
+      Ftr_dht.Workload.measure_load ~failures
+        ~strategy:(Route.Backtrack { history = 5 })
+        ~store ~requests w rng
+    in
+    Printf.printf "universe %d keys, %d replicas, %d Zipf-popular requests, %.0f%% nodes dead\n"
+      (Ftr_dht.Workload.universe w) replicas requests (100.0 *. fraction);
+    Printf.printf "hit rate          %8.4f\n" report.Ftr_dht.Workload.hit_rate;
+    Printf.printf "mean hops         %8.2f\n" report.Ftr_dht.Workload.mean_hops;
+    Printf.printf "serving hotspot   %8.1fx the mean serving load\n"
+      report.Ftr_dht.Workload.serve_max_over_mean;
+    Printf.printf "forwarding hotspot%8.1fx the mean forwarding load\n"
+      report.Ftr_dht.Workload.forward_max_over_mean
+  in
+  let replicas_t =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"R" ~doc:"Salted replica count.")
+  in
+  let fraction_t =
+    Arg.(value & opt float 0.0 & info [ "fail" ] ~docv:"P" ~doc:"Fraction of nodes to fail.")
+  in
+  let requests_t =
+    Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"Q" ~doc:"Zipf-popular requests.")
+  in
+  Cmd.v
+    (Cmd.info "dht" ~doc:"Resource layer under a Zipf workload, with failures")
+    Term.(const run $ n_t 4096 $ links_t $ seed_t $ replicas_t $ fraction_t $ requests_t)
+
+(* churn *)
+
+let churn_cmd =
+  let run line_size links seed duration initial =
+    let links = resolve_links line_size (Some links) in
+    let report =
+      Ftr_p2p.Churn.run
+        ~config:
+          {
+            Ftr_p2p.Churn.duration;
+            join_rate = 0.05;
+            crash_rate = 0.03;
+            leave_rate = 0.02;
+            lookup_rate = 2.0;
+            min_nodes = 8;
+          }
+        ~seed ~line_size ~initial_nodes:initial ~links ()
+    in
+    let r = report in
+    Printf.printf "final live nodes     %8d\n" r.Ftr_p2p.Churn.final_nodes;
+    Printf.printf "joins/crashes/leaves %8d / %d / %d\n" r.Ftr_p2p.Churn.joins
+      r.Ftr_p2p.Churn.crashes r.Ftr_p2p.Churn.leaves;
+    Printf.printf "lookups (user)       %8d, success %.4f, mean hops %.2f\n"
+      r.Ftr_p2p.Churn.lookups_issued r.Ftr_p2p.Churn.success_rate r.Ftr_p2p.Churn.mean_hops;
+    Printf.printf "messages/probes/repairs %5d / %d / %d\n" r.Ftr_p2p.Churn.messages
+      r.Ftr_p2p.Churn.probes r.Ftr_p2p.Churn.repairs
+  in
+  let duration_t =
+    Arg.(value & opt float 1000.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual-time horizon.")
+  in
+  let links_t = Arg.(value & opt int 8 & info [ "links" ] ~docv:"L" ~doc:"Long links per node.") in
+  let initial_t =
+    Arg.(value & opt int 128 & info [ "initial" ] ~docv:"I" ~doc:"Initial population.")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Run the dynamic protocol under churn and report")
+    Term.(const run $ n_t 1024 $ links_t $ seed_t $ duration_t $ initial_t)
+
+let () =
+  let info =
+    Cmd.info "p2psim" ~version:"1.0.0"
+      ~doc:"Fault-tolerant routing in peer-to-peer systems (Aspnes-Diamadi-Shah, PODC 2002)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            route_cmd;
+            figure5_cmd;
+            figure6_cmd;
+            figure7_cmd;
+            table1_cmd;
+            adversary_cmd;
+            byzantine_cmd;
+            recovery_cmd;
+            anatomy_cmd;
+            dht_cmd;
+            churn_cmd;
+          ]))

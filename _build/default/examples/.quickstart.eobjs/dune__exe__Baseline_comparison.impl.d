@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Ftr_baselines Ftr_core Ftr_prng Ftr_stats Printf

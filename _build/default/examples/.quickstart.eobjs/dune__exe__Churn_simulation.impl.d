@@ -1,0 +1,1 @@
+examples/churn_simulation.ml: Ftr_p2p Ftr_prng Ftr_sim List Printf

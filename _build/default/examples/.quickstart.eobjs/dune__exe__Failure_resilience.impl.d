@@ -1,0 +1,1 @@
+examples/failure_resilience.ml: Ftr_core List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ftr_core Ftr_graph Ftr_prng Ftr_stats List Printf String

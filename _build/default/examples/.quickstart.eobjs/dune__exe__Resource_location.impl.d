@@ -1,0 +1,1 @@
+examples/resource_location.ml: Ftr_core Ftr_dht Ftr_graph Ftr_p2p Ftr_prng Ftr_sim List Option Printf String

@@ -1,0 +1,1 @@
+examples/theory_walkthrough.ml: Float Ftr_core Ftr_prng Ftr_stats List Printf

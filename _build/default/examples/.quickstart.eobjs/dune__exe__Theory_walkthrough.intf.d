@@ -1,0 +1,1 @@
+examples/theory_walkthrough.mli:

@@ -1,0 +1,76 @@
+(* Baseline comparison: the Section 3 landscape on one machine.
+
+   The same resource-location job on five architectures: this paper's
+   line overlay, Chord's finger tables, Kleinberg's 2-D grid, a CAN-style
+   pure lattice, and Gnutella-style flooding. Run with:
+
+     dune exec examples/baseline_comparison.exe *)
+
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Theory = Ftr_core.Theory
+module Rng = Ftr_prng.Rng
+module Summary = Ftr_stats.Summary
+
+let messages = 500
+
+let summarize f =
+  let s = Summary.create () in
+  for _ = 1 to messages do
+    Summary.add_int s (f ())
+  done;
+  s
+
+let () =
+  let n = 4096 in
+  let side = 64 in
+  let rng = Rng.of_int 11 in
+  Printf.printf "locating resources among ~%d nodes, %d queries per system\n\n" n messages;
+  Printf.printf "%44s %10s %10s %12s\n" "system" "mean" "p99-ish" "state/node";
+
+  let print name s state =
+    Printf.printf "%44s %10.1f %10.0f %12s\n" name (Summary.mean s) (Summary.max_value s) state
+  in
+
+  (* This paper: greedy routing over 1/d long links on the line. *)
+  let links = int_of_float (Theory.lg n) in
+  let line = Network.build_ideal ~n ~links (Rng.split rng) in
+  print "this paper: line + 1/d links (hops)"
+    (summarize (fun () -> Route.hops (Route.route line ~src:(Rng.int rng n) ~dst:(Rng.int rng n))))
+    (Printf.sprintf "%d links" (links + 2));
+
+  (* Chord: identifier circle and finger tables (one-sided). *)
+  let chord = Ftr_baselines.Chord.create_full ~n in
+  print "Chord: finger tables (hops)"
+    (summarize (fun () ->
+         Ftr_baselines.Chord.route_hops chord ~src:(Rng.int rng n) ~key:(Rng.int rng n)))
+    (Printf.sprintf "%d fingers" (int_of_float (Theory.lg n)));
+
+  (* Kleinberg: 2-D torus with d^-2 long links. *)
+  let kle = Ftr_baselines.Kleinberg.build ~long_links:2 ~side (Rng.split rng) in
+  let m = side * side in
+  print "Kleinberg: 2-D grid, alpha=2 (hops)"
+    (summarize (fun () ->
+         Ftr_baselines.Kleinberg.route_hops kle ~src:(Rng.int rng m) ~dst:(Rng.int rng m)))
+    "6 links";
+
+  (* CAN: lattice only — small state, polynomial routes. *)
+  let lat = Ftr_baselines.Lattice.create ~dims:2 ~side in
+  print "CAN-style: 2-D lattice only (hops)"
+    (summarize (fun () ->
+         Ftr_baselines.Lattice.route_hops lat ~src:(Rng.int rng m) ~dst:(Rng.int rng m)))
+    "4 links";
+
+  (* Gnutella: no structure at all — queries flood. *)
+  let flood = Ftr_baselines.Flooding.random_overlay ~n ~degree:4 (Rng.split rng) in
+  print "Gnutella-style: flooding (messages!)"
+    (summarize (fun () ->
+         let src = Rng.int rng n and dst = Rng.int rng n in
+         if src = dst then 0
+         else (Ftr_baselines.Flooding.search flood ~src ~dst).Ftr_baselines.Flooding.messages))
+    "~8 links";
+
+  print_newline ();
+  print_endline "the paper's point: structured overlays embedded in a metric space";
+  print_endline "deliver in polylog hops with logarithmic state, while flooding pays";
+  print_endline "thousands of messages per query and the bare lattice pays O(sqrt n) hops."

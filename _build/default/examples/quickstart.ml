@@ -1,0 +1,65 @@
+(* Quickstart: build the paper's overlay, route a message, inspect it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Theory = Ftr_core.Theory
+module Rng = Ftr_prng.Rng
+module Summary = Ftr_stats.Summary
+
+let () =
+  (* 1. A deterministic random source: every run reproduces exactly. *)
+  let rng = Rng.of_int 2002 in
+
+  (* 2. The paper's network: n nodes on a line, each linked to its
+     immediate neighbours plus lg n long-distance links whose lengths
+     follow the inverse power-law distribution with exponent 1. *)
+  let n = 4096 in
+  let links = int_of_float (Theory.lg n) in
+  let net = Network.build_ideal ~n ~links rng in
+  Printf.printf "built a network of %d nodes with %d long links each\n" (Network.size net) links;
+
+  (* 3. Route one message greedily and show the route it took. *)
+  let src = 17 and dst = 3967 in
+  let outcome, path = Route.route_path net ~src ~dst in
+  (match outcome with
+  | Route.Delivered { hops } ->
+      Printf.printf "delivered %d -> %d in %d hops:\n  %s\n" src dst hops
+        (String.concat " -> " (List.map string_of_int path))
+  | Route.Failed _ -> print_endline "unexpected failure (no faults injected)");
+
+  (* 4. Average delivery time over random pairs, against Theorem 13's
+     bound. *)
+  let s = Summary.create () in
+  for _ = 1 to 1000 do
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    Summary.add_int s (Route.hops (Route.route net ~src ~dst))
+  done;
+  Printf.printf "mean delivery time over 1000 messages: %.2f hops (+- %.2f)\n" (Summary.mean s)
+    (Summary.ci95_halfwidth s);
+  Printf.printf "Theorem 13 upper bound (1+lg n) 8 H_n / l: %.1f hops\n"
+    (Theory.upper_multi_link ~links n);
+
+  (* 5. The same network survives failures: kill 30%% of the nodes and
+     route with the backtracking strategy. *)
+  let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction:0.3 in
+  let failures = Ftr_core.Failure.of_node_mask mask in
+  let live () =
+    let rec go () =
+      let v = Rng.int rng n in
+      if Ftr_graph.Bitset.get mask v then v else go ()
+    in
+    go ()
+  in
+  let delivered = ref 0 in
+  for _ = 1 to 1000 do
+    let src = live () and dst = live () in
+    match
+      Route.route ~failures ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src ~dst
+    with
+    | Route.Delivered _ -> incr delivered
+    | Route.Failed _ -> ()
+  done;
+  Printf.printf "with 30%% of nodes dead, backtracking still delivered %d/1000 messages\n"
+    !delivered

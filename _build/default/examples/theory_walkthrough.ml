@@ -1,0 +1,90 @@
+(* Theory walkthrough: the paper's probabilistic-recurrence machinery,
+   evaluated numerically and confronted with simulation. Run with:
+
+     dune exec examples/theory_walkthrough.exe *)
+
+module Theory = Ftr_core.Theory
+module Ac = Ftr_core.Aggregate_chain
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Harmonic = Ftr_stats.Harmonic
+module Summary = Ftr_stats.Summary
+module Rng = Ftr_prng.Rng
+
+let n = 8192
+
+let () =
+  Printf.printf "The bounds of Table 1, step by step, at n = %d\n\n" n;
+
+  (* Lemma 1 (Karp-Upfal-Wigderson): a non-increasing chain with drift
+     mu(z) reaches 1 in at most integral dz / mu(z). Theorem 12 plugs in
+     the drift of single-link greedy routing, mu_k > k / 2H_n. *)
+  Printf.printf "Lemma 1 with Theorem 12's drift mu_k = k / 2H_n:\n";
+  let kuw = Theory.kuw_upper_bound ~mu:(fun k -> Theory.theorem12_drift ~n k) ~x0:n in
+  Printf.printf "  sum_k 2H_n/k             = %8.1f hops\n" kuw;
+  Printf.printf "  closed form 2 H_n^2      = %8.1f hops\n" (Theory.upper_single_link n);
+  Printf.printf "  (H_%d = %.4f)\n\n" n (Harmonic.number n);
+
+  (* Simulation vs the bound. *)
+  let rng = Rng.of_int 1 in
+  let net = Network.build_ideal ~n ~links:1 rng in
+  let s = Summary.create () in
+  for _ = 1 to 500 do
+    let src = Rng.int rng n and dst = Rng.int rng n in
+    Summary.add_int s (Route.hops (Route.route net ~src ~dst))
+  done;
+  Printf.printf "  simulated single-link greedy routing: %.1f hops (ratio %.2f of the bound)\n\n"
+    (Summary.mean s)
+    (Summary.mean s /. kuw);
+
+  (* Theorem 2: the lower-bound counterpart. The aggregate chain's T(ln n)
+     integral with epsilon = ln^-3 n. *)
+  Printf.printf "Theorem 2 / Theorem 10 lower-bound machinery:\n";
+  let links = 3 in
+  let dist = Ac.harmonic ~links ~max_offset:(n - 1) in
+  let ell = Ac.mean_size dist in
+  let epsilon = 1.0 /. Float.pow (log (float_of_int n)) 3.0 in
+  (* Speed bound per unit of ln|S|: about the expected number of useful
+     links, O(ell); the integral then yields Omega(log^2 n / ell loglog n). *)
+  let t_ln_n =
+    Theory.theorem10_integral
+      ~m:(fun _ -> ell *. log (log (float_of_int n)) /. log (float_of_int n))
+      ~ln_n:(log (float_of_int n))
+      ~steps:10_000
+  in
+  Printf.printf "  E|Delta| = %.2f; epsilon = ln^-3 n = %.2e\n" ell epsilon;
+  Printf.printf "  T(ln n) integral ~ %.1f; inequality (8) gives E[tau] >= %.1f\n" t_ln_n
+    (Theory.theorem2_lower_bound ~t:t_ln_n ~epsilon);
+  Printf.printf "  leading-term formula Omega(log^2 n / ell loglog n) = %.1f\n"
+    (Theory.lower_one_sided ~links:(int_of_float (Float.ceil ell)) n);
+
+  let sim = Ac.mean_single_point dist rng ~start:n ~trials:2000 in
+  Printf.printf "  simulated one-sided chain: %.1f steps — above the bound, as proven\n\n"
+    (Summary.mean sim);
+
+  (* Lemma 6 in action. *)
+  Printf.printf "Lemma 6: Pr[|S'| <= |S|/a] <= 3 ell / a at |S| = %d:\n" n;
+  List.iter
+    (fun a ->
+      let p = Ac.lemma6_drop_probability dist rng ~k:n ~a ~trials:20_000 in
+      Printf.printf "  a = %5.0f: empirical %.4f  <=  bound %.4f\n" a p (3.0 *. ell /. a))
+    [ 10.0; 100.0; 1000.0 ];
+  print_newline ();
+
+  (* The whole of Table 1 for this n. *)
+  Printf.printf "Table 1 at n = %d (formulas only):\n" n;
+  Printf.printf "  %-44s %10.1f\n" "no failures, 1 link (2H_n^2)" (Theory.upper_single_link n);
+  Printf.printf "  %-44s %10.1f\n" "no failures, lg n links (Thm 13)"
+    (Theory.upper_multi_link ~links:13 n);
+  Printf.printf "  %-44s %10.1f\n" "deterministic base 2 (Thm 14)"
+    (Theory.upper_deterministic ~base:2 n);
+  Printf.printf "  %-44s %10.1f\n" "link failures p=0.5 (Thm 15)"
+    (Theory.upper_link_failure ~links:13 ~present_p:0.5 n);
+  Printf.printf "  %-44s %10.1f\n" "geometric links, p=0.5 (Thm 16)"
+    (Theory.upper_geometric_link_failure ~base:2 ~present_p:0.5 n);
+  Printf.printf "  %-44s %10.1f\n" "node failures p=0.5 (Thm 18)"
+    (Theory.upper_node_failure ~links:13 ~death_p:0.5 n);
+  Printf.printf "  %-44s %10.1f\n" "lower bound, one-sided (Thm 10)"
+    (Theory.lower_one_sided ~links:13 n);
+  Printf.printf "  %-44s %10.1f\n" "lower bound, large ell (Thm 3)"
+    (Theory.lower_large_links ~links:13 n)

@@ -1,0 +1,1 @@
+lib/baselines/chord.ml: Array Ftr_core Ftr_graph Ftr_metric Ftr_prng List

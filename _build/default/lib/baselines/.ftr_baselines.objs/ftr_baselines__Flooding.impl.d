@@ -1,0 +1,1 @@
+lib/baselines/flooding.ml: Array Ftr_graph Ftr_prng List

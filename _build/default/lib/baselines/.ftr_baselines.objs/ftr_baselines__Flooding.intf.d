@@ -1,0 +1,1 @@
+lib/baselines/flooding.mli: Ftr_graph Ftr_prng

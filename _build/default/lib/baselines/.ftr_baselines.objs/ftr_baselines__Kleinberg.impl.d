@@ -1,0 +1,1 @@
+lib/baselines/kleinberg.ml: Ftr_core Ftr_metric

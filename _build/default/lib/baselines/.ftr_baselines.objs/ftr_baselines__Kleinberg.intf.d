@@ -1,0 +1,1 @@
+lib/baselines/kleinberg.mli: Ftr_metric Ftr_prng

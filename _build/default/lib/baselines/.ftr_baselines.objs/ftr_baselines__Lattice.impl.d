@@ -1,0 +1,1 @@
+lib/baselines/lattice.ml: Ftr_metric List

@@ -1,0 +1,1 @@
+lib/baselines/lattice.mli: Ftr_metric

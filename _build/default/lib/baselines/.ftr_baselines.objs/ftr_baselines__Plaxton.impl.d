@@ -1,0 +1,1 @@
+lib/baselines/plaxton.ml: List

@@ -1,0 +1,37 @@
+module Torus = Ftr_metric.Torus
+
+type t = { torus : Torus.t }
+
+let create ~dims ~side =
+  if side < 3 then invalid_arg "Lattice.create: side must be >= 3";
+  { torus = Torus.create ~dims ~side }
+
+let torus t = t.torus
+
+let size t = Torus.size t.torus
+
+(* CAN-style greedy: only lattice neighbours, pick any that strictly
+   reduces L1 distance (first axis with a gap). Hop count equals the L1
+   distance, i.e. Θ(d · n^{1/d}) in the worst case. *)
+let route ?(max_hops = 100_000_000) t ~src ~dst =
+  if not (Torus.contains t.torus src && Torus.contains t.torus dst) then
+    invalid_arg "Lattice.route: node off the torus";
+  let rec go cur hops =
+    if cur = dst then Some hops
+    else if hops >= max_hops then None
+    else begin
+      let cd = Torus.distance t.torus cur dst in
+      let next =
+        List.find_opt (fun v -> Torus.distance t.torus v dst < cd) (Torus.neighbors t.torus cur)
+      in
+      match next with None -> None | Some v -> go v (hops + 1)
+    end
+  in
+  go src 0
+
+let route_hops t ~src ~dst =
+  match route t ~src ~dst with
+  | Some h -> h
+  | None -> invalid_arg "Lattice.route_hops: routing failed"
+
+let expected_hops t = float_of_int (Torus.dims t.torus) *. float_of_int (Torus.side t.torus) /. 4.0

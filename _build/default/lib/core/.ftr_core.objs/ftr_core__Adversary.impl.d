@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Failure Float Ftr_graph Ftr_prng List Network Network_stats Route Theory

@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Ftr_graph Network

@@ -1,0 +1,1 @@
+lib/core/aggregate_chain.ml: Array Float Ftr_prng Ftr_stats List

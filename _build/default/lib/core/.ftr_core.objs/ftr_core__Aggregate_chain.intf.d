@@ -1,0 +1,1 @@
+lib/core/aggregate_chain.mli: Ftr_prng Ftr_stats

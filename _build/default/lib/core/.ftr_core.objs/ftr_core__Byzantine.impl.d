@@ -1,0 +1,1 @@
+lib/core/byzantine.ml: Array Failure Ftr_graph Ftr_prng Hashtbl List Network Theory

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Aggregate_chain Array Failure Float Ftr_graph Ftr_prng Ftr_stats Heuristic List Multidim Network Printf Route Theory

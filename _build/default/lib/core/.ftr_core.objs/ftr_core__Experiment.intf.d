@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Failure Ftr_prng Heuristic Network Route

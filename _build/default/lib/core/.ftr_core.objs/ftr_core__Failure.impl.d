@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Ftr_graph Ftr_prng Network

@@ -1,0 +1,1 @@
+lib/core/failure.mli: Ftr_graph Ftr_prng Network

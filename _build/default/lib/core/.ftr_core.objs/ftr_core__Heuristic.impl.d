@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Float Ftr_prng Hashtbl Int List Network Set

@@ -1,0 +1,1 @@
+lib/core/multidim.ml: Array Float Ftr_metric Ftr_prng Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/multidim.mli: Ftr_metric Ftr_prng

@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Float Ftr_graph Ftr_prng List

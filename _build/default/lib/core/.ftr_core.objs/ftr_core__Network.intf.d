@@ -1,0 +1,1 @@
+lib/core/network.mli: Ftr_graph Ftr_prng

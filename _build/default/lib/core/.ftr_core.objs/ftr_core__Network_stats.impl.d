@@ -1,0 +1,1 @@
+lib/core/network_stats.ml: Array Ftr_stats List Network

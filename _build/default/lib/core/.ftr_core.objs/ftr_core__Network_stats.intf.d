@@ -1,0 +1,1 @@
+lib/core/network_stats.mli: Ftr_stats Network

@@ -1,0 +1,1 @@
+lib/core/route.ml: Array Failure Ftr_prng Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/core/route.mli: Failure Ftr_prng Network

@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Buffer In_channel List Network Out_channel Printf String

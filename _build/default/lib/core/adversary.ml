@@ -1,0 +1,161 @@
+module Bitset = Ftr_graph.Bitset
+
+(* Section 4.3.4.2: "for our deterministic routing strategy, certain
+   carefully chosen node failures can lead to dismal situations where a
+   message can get stuck in a local neighborhood with no hope of ... reaching
+   the destination node."
+
+   The attack is structural: in a geometric (Theorem 16) network every
+   in-neighbour of a target sits at one of the predictable positions
+   [target ± base^i], so killing those 2·log_b(n) nodes cuts the target off
+   even though it is alive. Against the randomized 1/d network the same
+   budget kills only the two immediate neighbours plus whatever random
+   links happen to coincide — the target keeps ~ℓ live incoming links the
+   adversary cannot predict. *)
+
+let structural_positions ~n ~base ~target =
+  if n < 2 then invalid_arg "Adversary.structural_positions: n must be >= 2";
+  if base < 2 then invalid_arg "Adversary.structural_positions: base must be >= 2";
+  if target < 0 || target >= n then invalid_arg "Adversary.structural_positions: target off line";
+  let acc = ref [] in
+  let add v = if v >= 0 && v < n && v <> target then acc := v :: !acc in
+  let power = ref 1 in
+  while !power < n do
+    add (target + !power);
+    add (target - !power);
+    power := !power * base
+  done;
+  List.sort_uniq compare !acc
+
+let structural_mask ~n ~base ~target =
+  let mask = Bitset.create n in
+  Bitset.fill mask true;
+  List.iter (Bitset.clear mask) (structural_positions ~n ~base ~target);
+  mask
+
+(* A blockade of everything within [radius] of the target (the "local
+   neighborhood" variant): reaching the target then requires a live long
+   link that lands on it exactly. *)
+let blockade_positions ~n ~target ~radius =
+  if radius < 1 then invalid_arg "Adversary.blockade_positions: radius must be >= 1";
+  let acc = ref [] in
+  for d = 1 to radius do
+    if target - d >= 0 then acc := (target - d) :: !acc;
+    if target + d < n then acc := (target + d) :: !acc
+  done;
+  List.sort_uniq compare !acc
+
+let blockade_mask ~n ~target ~radius =
+  let mask = Bitset.create n in
+  Bitset.fill mask true;
+  List.iter (Bitset.clear mask) (blockade_positions ~n ~target ~radius);
+  mask
+
+type isolation_result = {
+  kills : int;  (** nodes the adversary removed *)
+  geometric_failed : float;  (** failed-search fraction on the Theorem 16 network *)
+  random_failed : float;  (** failed-search fraction on the 1/d network *)
+}
+
+(* The head-to-head experiment: the same structural kill list applied to a
+   geometric network (whose link structure it predicts exactly) and to a
+   randomized network with an equal long-link budget. *)
+let isolation_experiment ?(n = 4096) ?(base = 2) ?links ?(trials = 200) ~seed () =
+  let links =
+    match links with Some l -> l | None -> int_of_float (Float.ceil (Theory.lg n))
+  in
+  let rng = Ftr_prng.Rng.of_int seed in
+  let geometric = Network.build_geometric ~n ~base in
+  let random = Network.build_ideal ~n ~links rng in
+  let failed_fraction net =
+    let failed = ref 0 and total = ref 0 in
+    for _ = 1 to trials do
+      let target = Ftr_prng.Rng.int rng n in
+      let mask = structural_mask ~n ~base ~target in
+      let failures = Failure.of_node_mask mask in
+      (* A source far from the blast radius, alive by construction. *)
+      let rec pick_src tries =
+        let s = Ftr_prng.Rng.int rng n in
+        if s <> target && Bitset.get mask s then s else if tries > 1000 then target else pick_src (tries + 1)
+      in
+      let src = pick_src 0 in
+      if src <> target then begin
+        incr total;
+        match
+          Route.route ~failures ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src
+            ~dst:target
+        with
+        | Route.Delivered _ -> ()
+        | Route.Failed _ -> incr failed
+      end
+    done;
+    if !total = 0 then nan else float_of_int !failed /. float_of_int !total
+  in
+  {
+    kills = List.length (structural_positions ~n ~base ~target:(n / 2));
+    geometric_failed = failed_fraction geometric;
+    random_failed = failed_fraction random;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Degree-targeted attacks                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Scale-free networks die when their hubs do. The paper's 1/d overlay is
+   deliberately egalitarian — in-degree concentrates nowhere — so killing
+   the highest-in-degree nodes should hurt barely more than killing the
+   same number at random. The Section 5 heuristic, by contrast, lets early
+   arrivals accumulate incoming links (see Network_stats), giving a
+   targeted adversary something to aim at. *)
+
+let highest_in_degree_mask net ~kills =
+  let n = Network.size net in
+  if kills < 0 || kills >= n then invalid_arg "Adversary.highest_in_degree_mask: bad kill count";
+  let degrees = Network_stats.in_degrees net in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (degrees.(b), a) (degrees.(a), b)) order;
+  let mask = Bitset.create n in
+  Bitset.fill mask true;
+  for k = 0 to kills - 1 do
+    Bitset.clear mask order.(k)
+  done;
+  mask
+
+type degree_attack_result = {
+  attack_kills : int;
+  random_failed : float;  (** failed fraction after killing a random set *)
+  targeted_failed : float;  (** after killing the highest-in-degree set *)
+}
+
+let degree_attack_experiment ?(kills_fraction = 0.1) ?(messages = 300) ~net ~seed () =
+  let n = Network.size net in
+  let kills = int_of_float (kills_fraction *. float_of_int n) in
+  let rng = Ftr_prng.Rng.of_int seed in
+  let failed_fraction mask =
+    let failures = Failure.of_node_mask mask in
+    let live () =
+      let rec go () =
+        let v = Ftr_prng.Rng.int rng n in
+        if Bitset.get mask v then v else go ()
+      in
+      go ()
+    in
+    let failed = ref 0 in
+    for _ = 1 to messages do
+      let src = live () and dst = live () in
+      match
+        Route.route ~failures ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src ~dst
+      with
+      | Route.Delivered _ -> ()
+      | Route.Failed _ -> incr failed
+    done;
+    float_of_int !failed /. float_of_int messages
+  in
+  let random_mask =
+    Failure.random_node_fraction rng ~n ~fraction:(float_of_int kills /. float_of_int n)
+  in
+  {
+    attack_kills = kills;
+    random_failed = failed_fraction random_mask;
+    targeted_failed = failed_fraction (highest_in_degree_mask net ~kills);
+  }

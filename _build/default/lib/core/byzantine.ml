@@ -1,0 +1,210 @@
+(* Section 7's second future-work direction: "study the security properties
+   of greedy routing schemes to see how they can be adapted to provide ...
+   robustness against Byzantine failures."
+
+   We model the classic blackhole adversary: a Byzantine node accepts a
+   message and silently drops it. A naive sender learns nothing and the
+   search dies. A defended sender keeps a per-search suspect list: when no
+   progress acknowledgement arrives, it writes the suspect off and retries
+   its next-best neighbour — the same machinery that routes around crashed
+   nodes, at one wasted message per Byzantine encounter. *)
+
+type outcome =
+  | Delivered of { hops : int; wasted : int }  (** [wasted] = messages eaten by blackholes *)
+  | Failed of { hops : int; wasted : int }
+
+let delivered = function Delivered _ -> true | Failed _ -> false
+
+let hops = function Delivered { hops; _ } | Failed { hops; _ } -> hops
+
+let wasted = function Delivered { wasted; _ } | Failed { wasted; _ } -> wasted
+
+type defense =
+  | Naive  (** senders never learn; the first blackhole on the path wins *)
+  | Retry  (** senders time out, blacklist the suspect and take the next-best link *)
+  | Retry_backtrack of { history : int }
+      (** {!Retry} plus the Section 6 backtracking strategy when a node's
+          candidates are exhausted *)
+
+(* The misrouting adversary: instead of dropping, a Byzantine node
+   forwards the message to its neighbour FARTHEST from the target — silent
+   sabotage no timeout can see. Honest greedy progress must outrun the
+   adversarial regressions; the TTL decides who wins. *)
+let route_misroute ?(max_hops = 1_000) net ~byzantine ~src ~dst =
+  if src < 0 || src >= Network.size net || dst < 0 || dst >= Network.size net then
+    invalid_arg "Byzantine.route_misroute: node out of range";
+  if byzantine src || byzantine dst then
+    invalid_arg "Byzantine.route_misroute: endpoint is Byzantine";
+  let dist v = Network.distance net v dst in
+  let rec go cur h sabotaged =
+    if cur = dst then Delivered { hops = h; wasted = sabotaged }
+    else if h >= max_hops then Failed { hops = h; wasted = sabotaged }
+    else if byzantine cur then begin
+      (* Sabotage: hand the message to the worst neighbour. *)
+      let ns = Network.neighbors net cur in
+      let worst = ref ns.(0) and worst_d = ref (dist ns.(0)) in
+      Array.iter
+        (fun v ->
+          let d = dist v in
+          if d > !worst_d then begin
+            worst := v;
+            worst_d := d
+          end)
+        ns;
+      go !worst (h + 1) (sabotaged + 1)
+    end
+    else begin
+      (* Honest greedy step. *)
+      let cur_d = dist cur in
+      let best = ref (-1) and best_d = ref cur_d in
+      Array.iter
+        (fun v ->
+          let d = dist v in
+          if d < !best_d then begin
+            best := v;
+            best_d := d
+          end)
+        (Network.neighbors net cur);
+      if !best < 0 then Failed { hops = h; wasted = sabotaged } else go !best (h + 1) sabotaged
+    end
+  in
+  go src 0 0
+
+let route ?(defense = Naive) ?(max_hops = 1_000_000) net ~byzantine ~src ~dst =
+  if src < 0 || src >= Network.size net || dst < 0 || dst >= Network.size net then
+    invalid_arg "Byzantine.route: node out of range";
+  if byzantine src || byzantine dst then invalid_arg "Byzantine.route: endpoint is Byzantine";
+  let tried : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let excluded cur = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
+  let record cur idx = Hashtbl.replace tried cur (idx :: excluded cur) in
+  let dist v = Network.distance net v dst in
+  (* Senders cannot see who is Byzantine, so candidates include them. *)
+  let best ~any cur =
+    let limit = if any then max_int else dist cur in
+    let ex = excluded cur in
+    let best = ref (-1) and best_idx = ref (-1) and best_d = ref limit in
+    Array.iteri
+      (fun idx v ->
+        if not (List.mem idx ex) then begin
+          let d = dist v in
+          if d < !best_d then begin
+            best := v;
+            best_idx := idx;
+            best_d := d
+          end
+        end)
+      (Network.neighbors net cur);
+    if !best < 0 then None else Some (!best_idx, !best)
+  in
+  match defense with
+  | Naive ->
+      (* Pure greedy; stepping onto a blackhole ends the search. *)
+      let rec go cur h =
+        if cur = dst then Delivered { hops = h; wasted = 0 }
+        else if h >= max_hops then Failed { hops = h; wasted = 0 }
+        else
+          match best ~any:false cur with
+          | None -> Failed { hops = h; wasted = 0 }
+          | Some (_, v) ->
+              if byzantine v then Failed { hops = h + 1; wasted = 1 } else go v (h + 1)
+      in
+      go src 0
+  | Retry | Retry_backtrack _ ->
+      let history_limit =
+        match defense with Retry_backtrack { history } -> history | Retry | Naive -> 0
+      in
+      let trim l =
+        let rec take k = function
+          | [] -> []
+          | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+        in
+        take history_limit l
+      in
+      let wasted = ref 0 in
+      let rec forward cur h hist =
+        if cur = dst then Delivered { hops = h; wasted = !wasted }
+        else if h >= max_hops then Failed { hops = h; wasted = !wasted }
+        else
+          match best ~any:false cur with
+          | Some (idx, v) ->
+              record cur idx;
+              if byzantine v then begin
+                (* The blackhole ate one message; the sender times out and
+                   tries its next candidate. *)
+                incr wasted;
+                forward cur (h + 1) hist
+              end
+              else forward v (h + 1) (trim (cur :: hist))
+          | None -> backtrack cur h hist
+      and backtrack stuck h = function
+        | [] -> Failed { hops = h; wasted = !wasted }
+        | y :: rest ->
+            let h = h + 1 in
+            if h >= max_hops then Failed { hops = h; wasted = !wasted }
+            else begin
+              match best ~any:true y with
+              | Some (idx, v) ->
+                  record y idx;
+                  if byzantine v then begin
+                    incr wasted;
+                    backtrack stuck h (y :: rest)
+                  end
+                  else forward v (h + 1) (trim (y :: rest))
+              | None -> backtrack y h rest
+            end
+      in
+      forward src 0 []
+
+type sweep_row = {
+  byzantine_fraction : float;
+  naive_failed : float;
+  retry_failed : float;
+  backtrack_failed : float;
+  retry_wasted : float;  (** mean messages eaten per search under Retry *)
+}
+
+(* Failed-search fractions for the three defenses as the Byzantine
+   population grows — the shape of the paper's security question. *)
+let sweep ?(n = 4096) ?links ?(fractions = [ 0.0; 0.05; 0.1; 0.2; 0.3; 0.4 ]) ?(networks = 3)
+    ?(messages = 200) ~seed () =
+  let links = match links with Some l -> l | None -> int_of_float (Theory.lg n) in
+  let rng = Ftr_prng.Rng.of_int seed in
+  List.map
+    (fun fraction ->
+      let naive = ref 0 and retry = ref 0 and back = ref 0 and eaten = ref 0 and total = ref 0 in
+      for _ = 1 to networks do
+        let r = Ftr_prng.Rng.split rng in
+        let net = Network.build_ideal ~n ~links r in
+        (* Byzantine nodes are a uniformly random subset. *)
+        let mask = Failure.random_node_fraction r ~n ~fraction in
+        let byzantine v = not (Ftr_graph.Bitset.get mask v) in
+        let honest () =
+          let rec go () =
+            let v = Ftr_prng.Rng.int r n in
+            if byzantine v then go () else v
+          in
+          go ()
+        in
+        for _ = 1 to messages do
+          let src = honest () and dst = honest () in
+          incr total;
+          if not (delivered (route ~defense:Naive net ~byzantine ~src ~dst)) then incr naive;
+          let rr = route ~defense:Retry net ~byzantine ~src ~dst in
+          if not (delivered rr) then incr retry;
+          eaten := !eaten + wasted rr;
+          if
+            not
+              (delivered
+                 (route ~defense:(Retry_backtrack { history = 5 }) net ~byzantine ~src ~dst))
+          then incr back
+        done
+      done;
+      let frac x = float_of_int x /. float_of_int !total in
+      {
+        byzantine_fraction = fraction;
+        naive_failed = frac !naive;
+        retry_failed = frac !retry;
+        backtrack_failed = frac !back;
+        retry_wasted = float_of_int !eaten /. float_of_int !total;
+      })
+    fractions

@@ -1,0 +1,74 @@
+module Bitset = Ftr_graph.Bitset
+
+type t = {
+  node_alive : int -> bool;
+  link_alive : src:int -> idx:int -> bool;
+}
+
+let none = { node_alive = (fun _ -> true); link_alive = (fun ~src:_ ~idx:_ -> true) }
+
+let of_node_mask mask = { none with node_alive = Bitset.get mask }
+
+let random_node_fraction rng ~n ~fraction =
+  if fraction < 0.0 || fraction >= 1.0 then
+    invalid_arg "Failure.random_node_fraction: fraction must be in [0,1)";
+  let mask = Bitset.create n in
+  Bitset.fill mask true;
+  let deaths = int_of_float (fraction *. float_of_int n) in
+  (* Kill a uniformly random subset of exactly [deaths] nodes: take the
+     prefix of a random permutation. *)
+  let perm = Ftr_prng.Rng.permutation rng n in
+  for i = 0 to deaths - 1 do
+    Bitset.clear mask perm.(i)
+  done;
+  mask
+
+let bernoulli_node_mask rng ~n ~death_p =
+  if death_p < 0.0 || death_p > 1.0 then
+    invalid_arg "Failure.bernoulli_node_mask: death_p must be in [0,1]";
+  let mask = Bitset.create n in
+  for i = 0 to n - 1 do
+    if not (Ftr_prng.Rng.bernoulli rng death_p) then Bitset.set mask i
+  done;
+  mask
+
+type link_mask = { offsets : int array; bits : Bitset.t }
+
+let link_mask_alive m ~src ~idx = Bitset.get m.bits (m.offsets.(src) + idx)
+
+let random_link_mask rng net ~present_p =
+  if present_p < 0.0 || present_p > 1.0 then
+    invalid_arg "Failure.random_link_mask: present_p must be in [0,1]";
+  let n = Network.size net in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length (Network.neighbors net i)
+  done;
+  let bits = Bitset.create offsets.(n) in
+  for i = 0 to n - 1 do
+    let ns = Network.neighbors net i in
+    Array.iteri
+      (fun idx j ->
+        (* The links to the nearest neighbour on either side are assumed
+           always present (Theorems 15 and 16). *)
+        let immediate = j = i - 1 || j = i + 1 in
+        if immediate || Ftr_prng.Rng.bernoulli rng present_p then
+          Bitset.set bits (offsets.(i) + idx))
+      ns
+  done;
+  { offsets; bits }
+
+let of_link_mask m = { none with link_alive = link_mask_alive m }
+
+let compose a b =
+  {
+    node_alive = (fun i -> a.node_alive i && b.node_alive i);
+    link_alive = (fun ~src ~idx -> a.link_alive ~src ~idx && b.link_alive ~src ~idx);
+  }
+
+let make ?(node_alive = fun _ -> true) ?(link_alive = fun ~src:_ ~idx:_ -> true) () =
+  { node_alive; link_alive }
+
+let node_alive t i = t.node_alive i
+
+let link_alive t ~src ~idx = t.link_alive ~src ~idx

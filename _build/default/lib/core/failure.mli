@@ -1,0 +1,52 @@
+(** Failure models of Sections 4.3.3–4.3.4 and 6.
+
+    A failure view answers two questions during routing: is node [i] alive,
+    and is the [idx]-th outgoing link of node [src] usable. Immediate
+    (nearest-neighbour) links are kept alive by the link-failure builders,
+    matching the paper's assumption that a message can always crawl. *)
+
+type t
+
+val none : t
+(** Everything alive. *)
+
+val make :
+  ?node_alive:(int -> bool) -> ?link_alive:(src:int -> idx:int -> bool) -> unit -> t
+(** Assemble a view from predicates (defaults: everything alive). *)
+
+val node_alive : t -> int -> bool
+(** Whether node index [i] is alive. *)
+
+val link_alive : t -> src:int -> idx:int -> bool
+(** Whether the [idx]-th outgoing link of [src] is usable. *)
+
+val compose : t -> t -> t
+(** Both views must agree that an entity is alive. *)
+
+(** {1 Node failures (Section 6, Theorem 18)} *)
+
+val of_node_mask : Ftr_graph.Bitset.t -> t
+(** View from an aliveness bitset (set bit = alive). *)
+
+val random_node_fraction : Ftr_prng.Rng.t -> n:int -> fraction:float -> Ftr_graph.Bitset.t
+(** Exactly [⌊fraction·n⌋] uniformly random nodes dead — the Section 6
+    experiment setup. @raise Invalid_argument unless [0 <= fraction < 1]. *)
+
+val bernoulli_node_mask : Ftr_prng.Rng.t -> n:int -> death_p:float -> Ftr_graph.Bitset.t
+(** Each node independently dead with probability [death_p] (Theorem 18's
+    model). *)
+
+(** {1 Link failures (Theorems 15–16)} *)
+
+type link_mask
+(** Per-link aliveness, one bit per (node, neighbour-index). *)
+
+val random_link_mask : Ftr_prng.Rng.t -> Network.t -> present_p:float -> link_mask
+(** Every long-distance link independently present with probability
+    [present_p]; nearest-neighbour links always present. *)
+
+val link_mask_alive : link_mask -> src:int -> idx:int -> bool
+(** Query the mask directly. *)
+
+val of_link_mask : link_mask -> t
+(** Failure view from a link mask. *)

@@ -1,0 +1,383 @@
+type geometry = Line | Circle
+
+type t = {
+  geometry : geometry;
+  line_size : int; (* number of grid points of the underlying space *)
+  positions : int array;
+  neighbors : int array array; (* neighbor *indices* into [positions], sorted *)
+  links : int;
+}
+
+let size t = Array.length t.positions
+
+let line_size t = t.line_size
+
+let links t = t.links
+
+let position t i = t.positions.(i)
+
+let neighbors t i = t.neighbors.(i)
+
+let geometry t = t.geometry
+
+let is_full t = Array.length t.positions = t.line_size
+
+let point_distance t a b =
+  match t.geometry with
+  | Line -> abs (a - b)
+  | Circle ->
+      let d = abs (a - b) in
+      min d (t.line_size - d)
+
+let distance t i j = point_distance t t.positions.(i) t.positions.(j)
+
+(* Arc length walking in the increasing direction; the one-sided metric on
+   the circle (Chord's orientation). *)
+let clockwise_distance t ~src ~dst =
+  match t.geometry with
+  | Line -> invalid_arg "Network.clockwise_distance: line networks have no orientation"
+  | Circle ->
+      let d = (t.positions.(dst) - t.positions.(src)) mod t.line_size in
+      if d < 0 then d + t.line_size else d
+
+(* The quantity greedy routing minimises. Two-sided: the metric distance.
+   One-sided: on the line it is still the metric distance (the no-overshoot
+   rule is separate); on the circle it is the clockwise arc, which encodes
+   no-overshoot by itself (passing the target wraps the arc around). *)
+let routing_distance t ~side ~src ~dst =
+  match (side, t.geometry) with
+  | `Two_sided, _ | `One_sided, Line -> distance t src dst
+  | `One_sided, Circle -> clockwise_distance t ~src ~dst
+
+(* Line-specific one-sided admissibility: never traverse a link past the
+   target. Circle networks need no such rule (see [routing_distance]). *)
+let one_sided_admissible t ~cur ~v ~dst =
+  match t.geometry with
+  | Circle -> true
+  | Line ->
+      let cur_pos = t.positions.(cur) and v_pos = t.positions.(v) and dst_pos = t.positions.(dst) in
+      (cur_pos > dst_pos && v_pos >= dst_pos && v_pos < cur_pos)
+      || (cur_pos < dst_pos && v_pos <= dst_pos && v_pos > cur_pos)
+
+let nearest_index t ~position =
+  let n = Array.length t.positions in
+  if n = 0 then invalid_arg "Network.nearest_index: empty network";
+  (* Binary search for the first present position >= position, then compare
+     with its predecessor. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.positions.(mid) >= position then search lo mid else search (mid + 1) hi
+  in
+  let i = search 0 n in
+  match t.geometry with
+  | Line ->
+      if i = n then n - 1
+      else if i = 0 then 0
+      else if position - t.positions.(i - 1) <= t.positions.(i) - position then i - 1
+      else i
+  | Circle ->
+      (* Candidates wrap: the first and last nodes are adjacent. *)
+      let candidates = [ (i - 1 + n) mod n; i mod n ] in
+      let best = ref (i mod n) and best_d = ref max_int in
+      List.iter
+        (fun c ->
+          let d = point_distance t t.positions.(c) position in
+          if d < !best_d then begin
+            best := c;
+            best_d := d
+          end)
+        candidates;
+      !best
+
+let index_of_position t ~position =
+  let i = nearest_index t ~position in
+  if t.positions.(i) = position then Some i else None
+
+let to_adjacency t = Ftr_graph.Adjacency.of_arrays t.neighbors
+
+let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~links () =
+  let n = Array.length positions in
+  if Array.length neighbors <> n then
+    invalid_arg "Network.of_neighbor_indices: positions/neighbors length mismatch";
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p >= line_size then invalid_arg "Network.of_neighbor_indices: position off line";
+      if i > 0 && positions.(i - 1) >= p then
+        invalid_arg "Network.of_neighbor_indices: positions must be strictly increasing")
+    positions;
+  Array.iter
+    (Array.iter (fun j ->
+         if j < 0 || j >= n then invalid_arg "Network.of_neighbor_indices: neighbor out of range"))
+    neighbors;
+  { geometry; line_size; positions; neighbors; links }
+
+(* Draw a long-distance target for the node at position [src]: a point [v]
+   distinct from [src] with Pr[v] proportional to 1/d(src,v)^exponent,
+   normalised over the whole line (Section 4.3). Side is chosen with
+   probability proportional to that side's total mass, then the length by
+   inverse-CDF within the side. *)
+let sample_long_target pl rng ~n ~src =
+  let left = src and right = n - 1 - src in
+  let t_left = if left = 0 then 0.0 else Ftr_prng.Sample.power_law_total pl ~upto:left in
+  let t_right = if right = 0 then 0.0 else Ftr_prng.Sample.power_law_total pl ~upto:right in
+  let total = t_left +. t_right in
+  if total <= 0.0 then invalid_arg "Network.sample_long_target: isolated node";
+  if Ftr_prng.Rng.float rng *. total < t_left then
+    src - Ftr_prng.Sample.power_law_draw pl rng ~upto:left
+  else src + Ftr_prng.Sample.power_law_draw pl rng ~upto:right
+
+let finish_node ~immediate ~long =
+  let arr = Array.of_list (List.rev_append immediate long) in
+  Array.sort compare arr;
+  arr
+
+let build_ideal ?(exponent = 1.0) ~n ~links rng =
+  if n < 2 then invalid_arg "Network.build_ideal: need at least two nodes";
+  if links < 0 then invalid_arg "Network.build_ideal: negative link count";
+  let pl = Ftr_prng.Sample.power_law ~exponent ~max_length:(n - 1) in
+  let neighbors =
+    Array.init n (fun u ->
+        let immediate =
+          (if u > 0 then [ u - 1 ] else []) @ if u < n - 1 then [ u + 1 ] else []
+        in
+        let long = ref [] in
+        for _ = 1 to links do
+          long := sample_long_target pl rng ~n ~src:u :: !long
+        done;
+        finish_node ~immediate ~long:!long)
+  in
+  { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+
+let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
+  if n < 2 then invalid_arg "Network.build_binomial: need at least two positions";
+  if present_p <= 0.0 || present_p > 1.0 then
+    invalid_arg "Network.build_binomial: present_p must be in (0,1]";
+  let present = Array.make n false in
+  let count = ref 0 in
+  for p = 0 to n - 1 do
+    if Ftr_prng.Rng.bernoulli rng present_p then begin
+      present.(p) <- true;
+      incr count
+    end
+  done;
+  (* Guarantee at least two nodes so the network is routable. *)
+  if !count < 2 then begin
+    if not present.(0) then begin
+      present.(0) <- true;
+      incr count
+    end;
+    if not present.(n - 1) then begin
+      present.(n - 1) <- true;
+      incr count
+    end
+  end;
+  let positions = Array.make !count 0 in
+  let k = ref 0 in
+  for p = 0 to n - 1 do
+    if present.(p) then begin
+      positions.(!k) <- p;
+      incr k
+    end
+  done;
+  let m = !count in
+  let pl = Ftr_prng.Sample.power_law ~exponent ~max_length:(n - 1) in
+  (* Index lookup by rejection: draw targets from the unconditioned 1/d law
+     and retry while the target is absent. This realises Theorem 17's
+     "probability of choosing a node conditioned on the existence of that
+     node" exactly. *)
+  let index_of = Array.make n (-1) in
+  Array.iteri (fun i p -> index_of.(p) <- i) positions;
+  let sample_present_index ~src_pos ~src_idx =
+    let rec attempt tries =
+      let target = sample_long_target pl rng ~n ~src:src_pos in
+      if target >= 0 && target < n && present.(target) && index_of.(target) <> src_idx then
+        index_of.(target)
+      else if tries > 10_000 then
+        (* Pathologically sparse corner; fall back to a uniform present node. *)
+        let rec fallback () =
+          let j = Ftr_prng.Rng.int rng m in
+          if j <> src_idx then j else fallback ()
+        in
+        fallback ()
+      else attempt (tries + 1)
+    in
+    attempt 0
+  in
+  let neighbors =
+    Array.init m (fun i ->
+        let immediate = (if i > 0 then [ i - 1 ] else []) @ if i < m - 1 then [ i + 1 ] else [] in
+        let long = ref [] in
+        for _ = 1 to links do
+          long := sample_present_index ~src_pos:positions.(i) ~src_idx:i :: !long
+        done;
+        finish_node ~immediate ~long:!long)
+  in
+  { geometry = Line; line_size = n; positions; neighbors; links }
+
+let ceil_log ~base n =
+  if base < 2 then invalid_arg "Network.ceil_log: base must be >= 2";
+  let rec go acc power = if power >= n then acc else go (acc + 1) (power * base) in
+  go 0 1
+
+let build_deterministic ~n ~base =
+  if n < 2 then invalid_arg "Network.build_deterministic: need at least two nodes";
+  if base < 2 then invalid_arg "Network.build_deterministic: base must be >= 2";
+  let digits = ceil_log ~base n in
+  let neighbors =
+    Array.init n (fun u ->
+        let acc = ref [] in
+        let add v = if v >= 0 && v < n && v <> u then acc := v :: !acc in
+        let power = ref 1 in
+        for _ = 0 to digits - 1 do
+          for j = 1 to base - 1 do
+            add (u + (j * !power));
+            add (u - (j * !power))
+          done;
+          power := !power * base
+        done;
+        add (u - 1);
+        add (u + 1);
+        let arr = Array.of_list !acc in
+        Array.sort compare arr;
+        (* Deduplicate the sorted neighbour list. *)
+        let uniq = ref [] in
+        Array.iter
+          (fun v -> match !uniq with w :: _ when w = v -> () | _ -> uniq := v :: !uniq)
+          arr;
+        Array.of_list (List.rev !uniq))
+  in
+  let links = (base - 1) * digits in
+  { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+
+let build_geometric ~n ~base =
+  if n < 2 then invalid_arg "Network.build_geometric: need at least two nodes";
+  if base < 2 then invalid_arg "Network.build_geometric: base must be >= 2";
+  let neighbors =
+    Array.init n (fun u ->
+        let acc = ref [] in
+        let add v = if v >= 0 && v < n && v <> u then acc := v :: !acc in
+        let power = ref 1 in
+        while !power < n do
+          add (u + !power);
+          add (u - !power);
+          power := !power * base
+        done;
+        let arr = Array.of_list !acc in
+        Array.sort compare arr;
+        let uniq = ref [] in
+        Array.iter
+          (fun v -> match !uniq with w :: _ when w = v -> () | _ -> uniq := v :: !uniq)
+          arr;
+        Array.of_list (List.rev !uniq))
+  in
+  {
+    geometry = Line;
+    line_size = n;
+    positions = Array.init n (fun i -> i);
+    neighbors;
+    links = ceil_log ~base n;
+  }
+
+(* Lengths of all links except the two ring links (the nearest present node
+   on each side); these are the long-distance links whose distribution
+   Figure 5 plots. *)
+let long_link_lengths t =
+  let result = ref [] in
+  Array.iteri
+    (fun i ns ->
+      let n = size t in
+      let ring_left, ring_right =
+        match t.geometry with
+        | Line ->
+            ((if i > 0 then Some (i - 1) else None), if i < n - 1 then Some (i + 1) else None)
+        | Circle -> (Some ((i - 1 + n) mod n), Some ((i + 1) mod n))
+      in
+      let seen_left = ref false and seen_right = ref false in
+      Array.iter
+        (fun j ->
+          let is_ring =
+            (Some j = ring_left && not !seen_left && (seen_left := true; true))
+            || (Some j = ring_right && not !seen_right && (seen_right := true; true))
+          in
+          if not is_ring then result := distance t i j :: !result)
+        ns)
+    t.neighbors;
+  !result
+
+(* A full circle of [n] nodes: every node linked to both ring neighbours
+   (wrapping) and to [links] long-distance draws with Pr[v] proportional to
+   1/arc(u,v). The circle is the paper's other one-dimensional space
+   (Section 7: "the line or a circle") and matches Chord's identifier
+   circle; it has no boundary, so every node sees the same distance
+   profile. *)
+let build_ring ?(exponent = 1.0) ~n ~links rng =
+  if n < 3 then invalid_arg "Network.build_ring: need at least three nodes";
+  if links < 0 then invalid_arg "Network.build_ring: negative link count";
+  let max_d = n / 2 in
+  (* Weight per arc distance d: (number of nodes at distance d) / d^a.
+     Two nodes per distance except the antipode of an even ring. *)
+  let weights =
+    Array.init max_d (fun i ->
+        let d = i + 1 in
+        let count = if 2 * d = n then 1.0 else 2.0 in
+        count /. Float.pow (float_of_int d) exponent)
+  in
+  let cdf = Ftr_prng.Sample.cdf_of_weights weights in
+  let neighbors =
+    Array.init n (fun u ->
+        let immediate = [ (u + 1) mod n; (u - 1 + n) mod n ] in
+        let long = ref [] in
+        for _ = 1 to links do
+          let d = 1 + Ftr_prng.Sample.cdf_draw cdf rng in
+          let v =
+            if 2 * d = n then (u + d) mod n
+            else if Ftr_prng.Rng.bool rng then (u + d) mod n
+            else (u - d + n) mod n
+          in
+          long := v :: !long
+        done;
+        let arr = Array.of_list (List.rev_append immediate !long) in
+        Array.sort compare arr;
+        arr)
+  in
+  { geometry = Circle; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+
+(* Chord as an instance of this framework (Section 3: Chord's nodes "can be
+   thought of as embedded on grid points on a real circle"): clockwise
+   links at distances base^i on the circle. One-sided greedy routing over
+   this network takes exactly Chord's finger-table routes. *)
+let build_chordlike ?(base = 2) ?(predecessor = false) ~n () =
+  if n < 3 then invalid_arg "Network.build_chordlike: need at least three nodes";
+  if base < 2 then invalid_arg "Network.build_chordlike: base must be >= 2";
+  let neighbors =
+    Array.init n (fun u ->
+        (* Chord keeps only the successor; the optional predecessor makes
+           two-sided routing total on the same finger set. *)
+        let acc =
+          ref (((u + 1) mod n) :: (if predecessor then [ (u - 1 + n) mod n ] else []))
+        in
+        let power = ref 1 in
+        while !power < n do
+          for j = 1 to base - 1 do
+            let v = (u + (j * !power)) mod n in
+            if v <> u then acc := v :: !acc
+          done;
+          power := !power * base
+        done;
+        let arr = Array.of_list !acc in
+        Array.sort compare arr;
+        let uniq = ref [] in
+        Array.iter
+          (fun v -> match !uniq with w :: _ when w = v -> () | _ -> uniq := v :: !uniq)
+          arr;
+        Array.of_list (List.rev !uniq))
+  in
+  {
+    geometry = Circle;
+    line_size = n;
+    positions = Array.init n (fun i -> i);
+    neighbors;
+    links = (base - 1) * ceil_log ~base n;
+  }

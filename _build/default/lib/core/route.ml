@@ -1,0 +1,214 @@
+type side = One_sided | Two_sided
+
+type strategy =
+  | Terminate
+  | Random_reroute of { attempts : int }
+  | Backtrack of { history : int }
+
+type reason = No_live_neighbor | Hop_limit | No_live_reroute_target
+
+type outcome =
+  | Delivered of { hops : int }
+  | Failed of { hops : int; stuck_at : int; reason : reason }
+
+let hops = function Delivered { hops } -> hops | Failed { hops; _ } -> hops
+
+let delivered = function Delivered _ -> true | Failed _ -> false
+
+(* Best live neighbour of [cur], subject to the one-sided no-overshoot rule
+   when requested and to the per-node exclusion list used by backtracking.
+   In [`Strict] mode only neighbours strictly closer to [dst] qualify (the
+   greedy rule); in [`Any] mode every untried live neighbour qualifies,
+   still ranked by distance to [dst] — used when resuming from a
+   backtracked node, where the "next best neighbour" may have to route
+   around a hole. Returns the winning (index-into-neighbors, node) pair.
+   Ties go to the first candidate in sorted-position order, matching "ties
+   broken arbitrarily" (Section 4.2.1) deterministically. *)
+let best_neighbor net failures ~side ~mode ~tried ~cur ~dst =
+  let rd = match side with One_sided -> `One_sided | Two_sided -> `Two_sided in
+  let cur_dist = Network.routing_distance net ~side:rd ~src:cur ~dst in
+  let ns = Network.neighbors net cur in
+  let excluded =
+    match Hashtbl.find_opt tried cur with Some l -> l | None -> []
+  in
+  let limit = match mode with `Strict -> cur_dist | `Any -> max_int in
+  let best = ref (-1) and best_idx = ref (-1) and best_dist = ref limit in
+  Array.iteri
+    (fun idx v ->
+      if
+        Failure.link_alive failures ~src:cur ~idx
+        && Failure.node_alive failures v
+        && not (List.mem idx excluded)
+      then begin
+        let v_dist = Network.routing_distance net ~side:rd ~src:v ~dst in
+        let admissible =
+          v_dist < !best_dist
+          && match side with
+             | Two_sided -> true
+             | One_sided -> Network.one_sided_admissible net ~cur ~v ~dst
+        in
+        if admissible then begin
+          best := v;
+          best_idx := idx;
+          best_dist := v_dist
+        end
+      end)
+    ns;
+  if !best < 0 then None else Some (!best_idx, !best)
+
+let no_tried : (int, int list) Hashtbl.t = Hashtbl.create 1
+
+let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
+    ?(max_hops = 1_000_000) ?rng ?(on_hop = fun _ -> ()) net ~src ~dst =
+  let n = Network.size net in
+  if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Route.route: node out of range";
+  if not (Failure.node_alive failures dst) then invalid_arg "Route.route: destination is dead";
+  if not (Failure.node_alive failures src) then invalid_arg "Route.route: source is dead";
+  let tried =
+    match strategy with Backtrack _ -> Hashtbl.create 64 | Terminate | Random_reroute _ -> no_tried
+  in
+  let record_tried cur idx =
+    match strategy with
+    | Backtrack _ ->
+        let prev = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
+        Hashtbl.replace tried cur (idx :: prev)
+    | Terminate | Random_reroute _ -> ()
+  in
+  (* Greedy leg toward [target]; stops at the target, at a stuck node, or at
+     the hop budget. Returns (terminus, hops_so_far, ran_out_of_budget). *)
+  let greedy_leg ~start ~target ~hops =
+    let cur = ref start and h = ref hops and stop = ref false in
+    while (not !stop) && !cur <> target && !h < max_hops do
+      match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur:!cur ~dst:target with
+      | Some (idx, v) ->
+          record_tried !cur idx;
+          cur := v;
+          incr h;
+          on_hop v
+      | None -> stop := true
+    done;
+    (!cur, !h, (!cur <> target && not !stop))
+  in
+  let random_live_node () =
+    match rng with
+    | None -> None
+    | Some rng ->
+        let rec attempt tries =
+          if tries > 100_000 then None
+          else
+            let v = Ftr_prng.Rng.int rng n in
+            if Failure.node_alive failures v then Some v else attempt (tries + 1)
+        in
+        attempt 0
+  in
+  match strategy with
+  | Terminate ->
+      let terminus, h, out_of_budget = greedy_leg ~start:src ~target:dst ~hops:0 in
+      if terminus = dst then Delivered { hops = h }
+      else if out_of_budget then Failed { hops = h; stuck_at = terminus; reason = Hop_limit }
+      else Failed { hops = h; stuck_at = terminus; reason = No_live_neighbor }
+  | Random_reroute { attempts } ->
+      let rec go cur h attempts_left =
+        let terminus, h, out_of_budget = greedy_leg ~start:cur ~target:dst ~hops:h in
+        if terminus = dst then Delivered { hops = h }
+        else if out_of_budget then Failed { hops = h; stuck_at = terminus; reason = Hop_limit }
+        else if attempts_left = 0 then
+          Failed { hops = h; stuck_at = terminus; reason = No_live_neighbor }
+        else
+          match random_live_node () with
+          | None -> Failed { hops = h; stuck_at = terminus; reason = No_live_reroute_target }
+          | Some r ->
+              (* Carry the message to the random intermediate (or as close
+                 as greedy gets), then resume toward the destination. *)
+              let mid, h, out_of_budget = greedy_leg ~start:terminus ~target:r ~hops:h in
+              if out_of_budget then Failed { hops = h; stuck_at = mid; reason = Hop_limit }
+              else go mid h (attempts_left - 1)
+      in
+      go src 0 attempts
+  | Backtrack { history = history_limit } ->
+      if history_limit < 1 then invalid_arg "Route.route: history must be >= 1";
+      (* [history] holds the most recently visited nodes, newest first,
+         trimmed to the configured window. Every forward move pushes the
+         departing node — including moves made after a backtrack, so a
+         node's remaining untried links stay reachable while it is within
+         the window (depth-first search with a bounded backtrack stack). *)
+      let trim history =
+        let rec take k = function
+          | [] -> []
+          | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+        in
+        take history_limit history
+      in
+      let rec forward cur h history =
+        if cur = dst then Delivered { hops = h }
+        else if h >= max_hops then Failed { hops = h; stuck_at = cur; reason = Hop_limit }
+        else
+          match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur ~dst with
+          | Some (idx, v) ->
+              record_tried cur idx;
+              on_hop v;
+              forward v (h + 1) (trim (cur :: history))
+          | None -> backtrack cur h history
+      and backtrack stuck h history =
+        match history with
+        | [] -> Failed { hops = h; stuck_at = stuck; reason = No_live_neighbor }
+        | y :: rest ->
+            (* Travelling back to the previous node costs a hop. *)
+            let h = h + 1 in
+            on_hop y;
+            if h >= max_hops then Failed { hops = h; stuck_at = y; reason = Hop_limit }
+            else begin
+              (* "Chooses the next best neighbour": once the strictly
+                 closer options of [y] are exhausted, the search is allowed
+                 to route around the hole through a farther neighbour —
+                 without this, delivery would require a monotone live path,
+                 and the failure fractions of Figure 6 are unreachable. *)
+              match best_neighbor net failures ~side ~mode:`Any ~tried ~cur:y ~dst with
+              | Some (idx, v) ->
+                  record_tried y idx;
+                  on_hop v;
+                  forward v (h + 1) (trim (y :: rest))
+              | None -> backtrack y h rest
+            end
+      in
+      forward src 0 []
+
+(* Length of the walk after erasing every excursion: each revisit of a node
+   truncates the walk back to its first visit. For a backtracking search
+   this is the length of the route the message would have taken had it
+   known the dead ends in advance — the "delivery time" scale Figure 6(b)
+   plots. *)
+let loop_erased_length path =
+  let position = Hashtbl.create 64 in
+  let stack = ref [||] in
+  let top = ref 0 in
+  let push v =
+    if !top = Array.length !stack then begin
+      let bigger = Array.make (max 16 (2 * !top)) 0 in
+      Array.blit !stack 0 bigger 0 !top;
+      stack := bigger
+    end;
+    !stack.(!top) <- v;
+    Hashtbl.replace position v !top;
+    incr top
+  in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt position v with
+      | Some i when i < !top && !stack.(i) = v ->
+          (* Revisit: unwind the excursion. *)
+          for j = i + 1 to !top - 1 do
+            Hashtbl.remove position !stack.(j)
+          done;
+          top := i + 1
+      | Some _ | None -> push v)
+    path;
+  max 0 (!top - 1)
+
+let route_path ?failures ?side ?strategy ?max_hops ?rng net ~src ~dst =
+  let path = ref [ src ] in
+  let outcome =
+    route ?failures ?side ?strategy ?max_hops ?rng ~on_hop:(fun v -> path := v :: !path) net ~src
+      ~dst
+  in
+  (outcome, List.rev !path)

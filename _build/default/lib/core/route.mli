@@ -1,0 +1,80 @@
+(** Greedy routing over a {!Network.t} (Sections 4 and 6).
+
+    A message at node [cur] bound for node [dst] is forwarded to the live
+    neighbour closest to [dst]; one-sided routing additionally refuses to
+    jump past the target (Section 4.2.1). When no live neighbour is
+    strictly closer, one of the three Section 6 strategies applies:
+
+    - {!Terminate}: give up (strategy 1);
+    - {!Random_reroute}: deliver the message to a uniformly random live
+      node and retry from there, Valiant-style (strategy 2);
+    - {!Backtrack}: walk back through the last [history] visited nodes and
+      try their next-best untried neighbours (strategy 3; the paper uses
+      [history = 5]). Forward motion stays strictly greedy, but a
+      backtracked node that has exhausted its closer options may continue
+      through a farther neighbour to route around a hole — the reading of
+      "chooses the next best neighbor" that reproduces Figure 6's failure
+      fractions (requiring monotone live paths caps success far below the
+      paper's curve at high failure rates).
+
+    A node never forwards to a dead neighbour — liveness is checked before
+    the hop — and, per the paper, never retries a different link of the
+    same node once its best choice is exhausted except through the explicit
+    backtracking strategy. *)
+
+type side = One_sided | Two_sided
+
+type strategy =
+  | Terminate
+  | Random_reroute of { attempts : int }
+  | Backtrack of { history : int }
+
+type reason =
+  | No_live_neighbor  (** stuck: no live neighbour closer to the target *)
+  | Hop_limit  (** exceeded [max_hops] *)
+  | No_live_reroute_target  (** reroute could not find a live node *)
+
+type outcome =
+  | Delivered of { hops : int }
+  | Failed of { hops : int; stuck_at : int; reason : reason }
+
+val delivered : outcome -> bool
+(** Whether the message reached its destination. *)
+
+val hops : outcome -> int
+(** Hops consumed, delivered or not (backtracking steps count). *)
+
+val route :
+  ?failures:Failure.t ->
+  ?side:side ->
+  ?strategy:strategy ->
+  ?max_hops:int ->
+  ?rng:Ftr_prng.Rng.t ->
+  ?on_hop:(int -> unit) ->
+  Network.t ->
+  src:int ->
+  dst:int ->
+  outcome
+(** Route a message between node indices. Defaults: no failures, two-sided,
+    terminate-on-stuck, one million hop budget. [rng] is required only by
+    {!Random_reroute}; [on_hop] observes every node the message visits.
+    @raise Invalid_argument if an endpoint is out of range or dead. *)
+
+val loop_erased_length : int list -> int
+(** Hop count of a visit sequence after erasing every excursion (a revisit
+    truncates back to the first visit). Total hops charge the full
+    exploration cost of backtracking; the loop-erased length is the final
+    route's length — the scale on which Figure 6(b) plots delivery time. *)
+
+val route_path :
+  ?failures:Failure.t ->
+  ?side:side ->
+  ?strategy:strategy ->
+  ?max_hops:int ->
+  ?rng:Ftr_prng.Rng.t ->
+  Network.t ->
+  src:int ->
+  dst:int ->
+  outcome * int list
+(** As {!route}, also returning the full sequence of visited nodes
+    (starting with [src]). *)

@@ -1,0 +1,133 @@
+(* A plain-text snapshot format for networks, so a constructed overlay can
+   be archived, diffed, or shipped to another process and every experiment
+   re-run against the byte-identical graph.
+
+   Format (line-oriented, whitespace-separated):
+
+     ftrnet 1
+     geometry (line|circle)
+     line_size <int>
+     links <int>
+     nodes <int>
+     <position> <k> <neighbor_0> ... <neighbor_{k-1}>     (one line per node)
+*)
+
+let magic = "ftrnet"
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let emit ~(out : string -> unit) net =
+  out (Printf.sprintf "%s %d\n" magic version);
+  out
+    (Printf.sprintf "geometry %s\n"
+       (match Network.geometry net with Network.Line -> "line" | Network.Circle -> "circle"));
+  out (Printf.sprintf "line_size %d\n" (Network.line_size net));
+  out (Printf.sprintf "links %d\n" (Network.links net));
+  let n = Network.size net in
+  out (Printf.sprintf "nodes %d\n" n);
+  let line = Buffer.create 128 in
+  for i = 0 to n - 1 do
+    Buffer.clear line;
+    let ns = Network.neighbors net i in
+    Buffer.add_string line (string_of_int (Network.position net i));
+    Buffer.add_char line ' ';
+    Buffer.add_string line (string_of_int (Array.length ns));
+    Array.iter
+      (fun v ->
+        Buffer.add_char line ' ';
+        Buffer.add_string line (string_of_int v))
+      ns;
+    Buffer.add_char line '\n';
+    out (Buffer.contents line)
+  done
+
+let write_network oc net = emit ~out:(output_string oc) net
+
+let to_string net =
+  let buffer = Buffer.create 4096 in
+  emit ~out:(Buffer.add_string buffer) net;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* The parser consumes any [next : unit -> string option] line source, so
+   channels and in-memory strings share one implementation. *)
+let parse ~next =
+  let read_line_exn ~what =
+    match next () with
+    | Some l -> l
+    | None -> fail "unexpected end of input while reading %s" what
+  in
+  let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+  let int_word ~what w =
+    match int_of_string_opt w with Some v -> v | None -> fail "bad integer %S in %s" w what
+  in
+  let keyed_int ~key =
+    match words (read_line_exn ~what:key) with
+    | [ k; v ] when k = key -> int_word ~what:key v
+    | _ -> fail "expected '%s <int>'" key
+  in
+  (match words (read_line_exn ~what:"header") with
+  | [ m; v ] when m = magic ->
+      if int_word ~what:"version" v <> version then fail "unsupported version %s" v
+  | _ -> fail "not a %s file" magic);
+  let geometry =
+    match words (read_line_exn ~what:"geometry") with
+    | [ "geometry"; "line" ] -> Network.Line
+    | [ "geometry"; "circle" ] -> Network.Circle
+    | _ -> fail "expected 'geometry line|circle'"
+  in
+  let line_size = keyed_int ~key:"line_size" in
+  let links = keyed_int ~key:"links" in
+  let nodes = keyed_int ~key:"nodes" in
+  if nodes < 0 then fail "negative node count";
+  let positions = Array.make (max nodes 1) 0 in
+  let neighbors = Array.make (max nodes 1) [||] in
+  for i = 0 to nodes - 1 do
+    let what = Printf.sprintf "node %d" i in
+    match words (read_line_exn ~what) with
+    | pos :: degree :: rest ->
+        positions.(i) <- int_word ~what pos;
+        let degree = int_word ~what degree in
+        if List.length rest <> degree then
+          fail "node %d: declared %d neighbours, found %d" i degree (List.length rest);
+        neighbors.(i) <- Array.of_list (List.map (int_word ~what) rest)
+    | _ -> fail "node %d: malformed line" i
+  done;
+  try
+    Network.of_neighbor_indices ~geometry ~line_size
+      ~positions:(Array.sub positions 0 nodes)
+      ~neighbors:(Array.sub neighbors 0 nodes)
+      ~links ()
+  with Invalid_argument m -> fail "invalid network: %s" m
+
+let read_network ic = parse ~next:(fun () -> In_channel.input_line ic)
+
+let of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !lines with
+    | [] -> None
+    | l :: rest ->
+        lines := rest;
+        Some l
+  in
+  parse ~next
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let save_file net path = Out_channel.with_open_text path (fun oc -> write_network oc net)
+
+let load_file path = In_channel.with_open_text path read_network

@@ -1,0 +1,28 @@
+(** Plain-text snapshots of networks.
+
+    Constructed overlays are random objects; archiving one pins every
+    downstream experiment to the byte-identical graph. The format is
+    line-oriented and diff-friendly (see the implementation header). *)
+
+exception Parse_error of string
+(** Raised by the readers on malformed input, with a human-readable
+    location. *)
+
+val write_network : out_channel -> Network.t -> unit
+(** Serialize to a channel. *)
+
+val read_network : in_channel -> Network.t
+(** Parse from a channel. @raise Parse_error on malformed input. *)
+
+val to_string : Network.t -> string
+(** Serialize to a string. *)
+
+val of_string : string -> Network.t
+(** Parse from a string. @raise Parse_error on malformed input. *)
+
+val save_file : Network.t -> string -> unit
+(** Write to a file (text mode). *)
+
+val load_file : string -> Network.t
+(** Read from a file. @raise Parse_error on malformed input;
+    @raise Sys_error if the file cannot be opened. *)

@@ -1,0 +1,102 @@
+module Harmonic = Ftr_stats.Harmonic
+
+let lg n =
+  if n <= 0 then invalid_arg "Theory.lg: n must be positive";
+  log (float_of_int n) /. log 2.0
+
+let log_base ~base n =
+  if base < 2 then invalid_arg "Theory.log_base: base must be >= 2";
+  log (float_of_int n) /. log (float_of_int base)
+
+(* Theorem 12: with one long link per node, T(n) <= sum_{k=1..n} 2 H_n / k
+   = 2 H_n^2. *)
+let upper_single_link n = 2.0 *. Float.pow (Harmonic.number n) 2.0
+
+(* Theorem 13: with ℓ in [1, lg n] links, E[X] <= (1 + lg n) * 8 H_n / ℓ. *)
+let upper_multi_link ~links n =
+  if links < 1 then invalid_arg "Theory.upper_multi_link: links must be >= 1";
+  (1.0 +. lg n) *. 8.0 *. Harmonic.number n /. float_of_int links
+
+(* Theorem 14: digit-fixing with base b delivers in at most ceil(log_b n)
+   hops using (b-1) * ceil(log_b n) links. *)
+let upper_deterministic ~base n = Float.ceil (log_base ~base n)
+
+(* Theorem 15: long links present with probability p. *)
+let upper_link_failure ~links ~present_p n =
+  if present_p <= 0.0 || present_p > 1.0 then
+    invalid_arg "Theory.upper_link_failure: present_p must be in (0,1]";
+  upper_multi_link ~links n /. present_p
+
+(* Theorem 16: geometric links b^0..b^{log_b n}, each present with
+   probability p: T(n) <= 1 + 2 (b - q) H_{n-1} / p with q = 1 - p. *)
+let upper_geometric_link_failure ~base ~present_p n =
+  if present_p <= 0.0 || present_p > 1.0 then
+    invalid_arg "Theory.upper_geometric_link_failure: present_p must be in (0,1]";
+  let b = float_of_int base and q = 1.0 -. present_p in
+  1.0 +. (2.0 *. (b -. q) *. Harmonic.number (n - 1) /. present_p)
+
+(* Theorem 18: node failures with probability p; expected delivery time
+   O(log^2 n / ((1-p) ℓ)). Returned with Theorem 13's constant. *)
+let upper_node_failure ~links ~death_p n =
+  if death_p < 0.0 || death_p >= 1.0 then
+    invalid_arg "Theory.upper_node_failure: death_p must be in [0,1)";
+  upper_multi_link ~links n /. (1.0 -. death_p)
+
+(* Theorem 10 (one-sided): Omega(log^2 n / (ℓ log log n)). The returned
+   value is the bound's leading term with constant 1. *)
+let lower_one_sided ~links n =
+  let ln = log (float_of_int n) in
+  ln *. ln /. (float_of_int links *. log (max 2.0 (log (float_of_int n))))
+
+(* Theorem 10 (two-sided): Omega(log^2 n / (ℓ^2 log log n)). *)
+let lower_two_sided ~links n =
+  let ln = log (float_of_int n) in
+  let l = float_of_int links in
+  ln *. ln /. (l *. l *. log (max 2.0 (log (float_of_int n))))
+
+(* Theorem 3: with ℓ links per node, T = Omega(log n / log ℓ). *)
+let lower_large_links ~links n =
+  if links < 2 then invalid_arg "Theory.lower_large_links: links must be >= 2";
+  log (float_of_int n) /. log (float_of_int links)
+
+(* Lemma 1 (Karp-Upfal-Wigderson): T(x0) <= integral_1^{x0} dz / mu(z) for
+   a non-increasing chain with non-decreasing drift mu. Evaluated by unit
+   steps, which is exact for the integer-valued chains we use. *)
+let kuw_upper_bound ~mu ~x0 =
+  if x0 < 1 then invalid_arg "Theory.kuw_upper_bound: x0 must be >= 1";
+  let acc = ref 0.0 in
+  for z = 1 to x0 do
+    let m = mu z in
+    if m <= 0.0 then invalid_arg "Theory.kuw_upper_bound: drift must be positive";
+    acc := !acc +. (1.0 /. m)
+  done;
+  !acc
+
+(* Theorem 12's drift at distance k: mu_k > k / (2 H_n). *)
+let theorem12_drift ~n k =
+  if k < 1 then invalid_arg "Theory.theorem12_drift: k must be >= 1";
+  float_of_int k /. (2.0 *. Harmonic.number n)
+
+(* Theorem 2's conclusion: E[tau] >= T / (eps T + (1 - eps)). *)
+let theorem2_lower_bound ~t ~epsilon =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Theory.theorem2_lower_bound: epsilon must be in [0,1]";
+  if t < 0.0 then invalid_arg "Theory.theorem2_lower_bound: t must be non-negative";
+  t /. ((epsilon *. t) +. (1.0 -. epsilon))
+
+(* The integral T(ln n) of Theorem 10's proof, evaluated numerically from a
+   speed bound m(z); trapezoid rule on [0, ln n]. *)
+let theorem10_integral ~m ~ln_n ~steps =
+  if steps < 1 then invalid_arg "Theory.theorem10_integral: steps must be >= 1";
+  if ln_n <= 0.0 then invalid_arg "Theory.theorem10_integral: ln_n must be positive";
+  let h = ln_n /. float_of_int steps in
+  let f z =
+    let v = m z in
+    if v <= 0.0 then invalid_arg "Theory.theorem10_integral: speed must be positive";
+    1.0 /. v
+  in
+  let acc = ref ((f 0.0 +. f ln_n) /. 2.0) in
+  for i = 1 to steps - 1 do
+    acc := !acc +. f (float_of_int i *. h)
+  done;
+  !acc *. h

@@ -1,0 +1,1 @@
+lib/dht/dynamic.ml: Ftr_p2p Hashtbl Keyspace List

@@ -1,0 +1,1 @@
+lib/dht/dynamic.mli: Ftr_p2p

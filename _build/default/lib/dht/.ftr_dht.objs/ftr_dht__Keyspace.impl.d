@@ -1,0 +1,1 @@
+lib/dht/keyspace.ml: Char Int64 Printf String

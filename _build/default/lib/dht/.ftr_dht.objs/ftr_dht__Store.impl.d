@@ -1,0 +1,1 @@
+lib/dht/store.ml: Array Ftr_core Hashtbl Keyspace List

@@ -1,0 +1,1 @@
+lib/dht/store.mli: Ftr_core Ftr_prng

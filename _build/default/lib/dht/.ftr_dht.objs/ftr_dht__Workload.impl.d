@@ -1,0 +1,1 @@
+lib/dht/workload.ml: Array Ftr_core Ftr_prng Printf Store

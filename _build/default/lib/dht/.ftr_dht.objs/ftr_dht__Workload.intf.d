@@ -1,0 +1,1 @@
+lib/dht/workload.mli: Ftr_core Ftr_prng Store

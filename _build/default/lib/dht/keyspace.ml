@@ -1,0 +1,42 @@
+(* Section 2: "we assume a hash function h : K -> V such that resource r
+   maps to the point v = h(key(r)) in a metric space ... assumed to
+   populate the metric space evenly." FNV-1a gives fast, decent diffusion;
+   a SplitMix64 finaliser on top fixes FNV's weak low bits before the
+   modulo. *)
+
+let fnv_offset_basis = 0xCBF29CE484222325L
+
+let fnv_prime = 0x100000001B3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+(* SplitMix64's output finaliser: a strong 64-bit mixer. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash64 key = mix64 (fnv1a64 key)
+
+let point ~line_size key =
+  if line_size < 1 then invalid_arg "Keyspace.point: line_size must be positive";
+  let h = hash64 key in
+  (* Non-negative 62-bit value, then modulo. The bias is < 2^-40 for any
+     realistic line size. *)
+  Int64.to_int (Int64.shift_right_logical h 2) mod line_size
+
+(* Replica r of a key lives at the point of a salted variant of the key —
+   k independent hash functions via domain separation, so replicas spread
+   over the whole space and survive any local disaster. Salt 0 is the
+   primary location. *)
+let replica_point ~line_size ~salt key =
+  if salt < 0 then invalid_arg "Keyspace.replica_point: negative salt";
+  if salt = 0 then point ~line_size key
+  else point ~line_size (Printf.sprintf "%s\x00#%d" key salt)

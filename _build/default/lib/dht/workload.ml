@@ -1,0 +1,100 @@
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Failure = Ftr_core.Failure
+module Rng = Ftr_prng.Rng
+module Sample = Ftr_prng.Sample
+
+(* Realistic request workloads for the resource layer: key popularity is
+   Zipf-distributed (rank r requested with probability proportional to
+   r^-exponent), the regime every deployed DHT lives in. The questions the
+   paper's Section 1 raises — "the cost borne by each node must ... be
+   proportional ... to the amount of data the node seeks or provides" —
+   become measurable: how skewed is the serving load, and how skewed is
+   the forwarding load greedy routing induces? *)
+
+type t = {
+  keys : string array; (* popularity rank order: keys.(0) is hottest *)
+  rank_sampler : Sample.power_law;
+}
+
+let create ?(exponent = 1.0) ~universe () =
+  if universe < 1 then invalid_arg "Workload.create: universe must be >= 1";
+  {
+    keys = Array.init universe (fun i -> Printf.sprintf "key-%d" i);
+    rank_sampler = Sample.power_law ~exponent ~max_length:universe;
+  }
+
+let universe t = Array.length t.keys
+
+let keys t = t.keys
+
+let draw t rng = t.keys.(Sample.power_law_draw t.rank_sampler rng ~upto:(Array.length t.keys) - 1)
+
+type report = {
+  requests : int;
+  hit_rate : float;  (** requests that found their value *)
+  mean_hops : float;
+  serve_max_over_mean : float;
+      (** hottest node's share of value-serving load vs the mean over
+          serving nodes *)
+  forward_max_over_mean : float;
+      (** hottest node's share of message-forwarding load vs the mean over
+          all live nodes *)
+}
+
+(* Route [requests] Zipf-popular lookups from random live sources and
+   account both who serves values and who forwards messages. [spread]
+   makes each request start from a uniformly random replica (salted-hash
+   read balancing); without it every request hammers the primary. *)
+let measure_load ?(failures = Failure.none) ?(strategy = Route.Terminate) ?(spread = false)
+    ~store ~requests t rng =
+  if requests < 1 then invalid_arg "Workload.measure_load: requests must be >= 1";
+  let net = Store.network store in
+  let n = Network.size net in
+  let serve = Array.make n 0 in
+  let forward = Array.make n 0 in
+  let hits = ref 0 in
+  let hops_total = ref 0 in
+  let rec live_node () =
+    let v = Rng.int rng n in
+    if Failure.node_alive failures v then v else live_node ()
+  in
+  for _ = 1 to requests do
+    let key = draw t rng in
+    let owners = Store.replica_owners store key in
+    let owners = if spread then Ftr_prng.Rng.pick rng (Array.of_list owners) :: [] else owners in
+    let src = live_node () in
+    let rec attempt = function
+      | [] -> ()
+      | owner :: rest ->
+          if Failure.node_alive failures owner then begin
+            let outcome =
+              Route.route ~failures ~strategy ~rng
+                ~on_hop:(fun v -> forward.(v) <- forward.(v) + 1)
+                net ~src ~dst:owner
+            in
+            hops_total := !hops_total + Route.hops outcome;
+            if Route.delivered outcome && Store.get store ~key <> None then begin
+              incr hits;
+              serve.(owner) <- serve.(owner) + 1
+            end
+            else attempt rest
+          end
+          else attempt rest
+    in
+    attempt owners
+  done;
+  let max_over_mean counts ~support =
+    let total = Array.fold_left ( + ) 0 counts in
+    let max_v = Array.fold_left max 0 counts in
+    if total = 0 || support = 0 then nan
+    else float_of_int max_v /. (float_of_int total /. float_of_int support)
+  in
+  let serving_nodes = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 serve in
+  {
+    requests;
+    hit_rate = float_of_int !hits /. float_of_int requests;
+    mean_hops = float_of_int !hops_total /. float_of_int requests;
+    serve_max_over_mean = max_over_mean serve ~support:(max 1 serving_nodes);
+    forward_max_over_mean = max_over_mean forward ~support:n;
+  }

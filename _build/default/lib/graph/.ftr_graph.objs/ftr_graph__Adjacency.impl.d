@@ -1,0 +1,1 @@
+lib/graph/adjacency.ml: Array List Printf

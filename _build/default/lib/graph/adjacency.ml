@@ -1,0 +1,55 @@
+type t = { out_neighbors : int array array }
+
+let of_arrays out_neighbors =
+  Array.iteri
+    (fun u ns ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= Array.length out_neighbors then
+            invalid_arg
+              (Printf.sprintf "Adjacency.of_arrays: edge %d -> %d out of range" u v))
+        ns)
+    out_neighbors;
+  { out_neighbors }
+
+let of_edges ~n edges =
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Adjacency.of_edges: out of range";
+      buckets.(u) <- v :: buckets.(u))
+    edges;
+  { out_neighbors = Array.map (fun l -> Array.of_list (List.rev l)) buckets }
+
+let size t = Array.length t.out_neighbors
+
+let out_degree t u = Array.length t.out_neighbors.(u)
+
+let neighbors t u = t.out_neighbors.(u)
+
+let mem_edge t u v = Array.exists (fun w -> w = v) t.out_neighbors.(u)
+
+let iter_edges t f =
+  Array.iteri (fun u ns -> Array.iter (fun v -> f u v) ns) t.out_neighbors
+
+let edge_count t = Array.fold_left (fun acc ns -> acc + Array.length ns) 0 t.out_neighbors
+
+let reverse t =
+  let n = size t in
+  let buckets = Array.make n [] in
+  iter_edges t (fun u v -> buckets.(v) <- u :: buckets.(v));
+  { out_neighbors = Array.map (fun l -> Array.of_list (List.rev l)) buckets }
+
+let degree_summary t =
+  let n = size t in
+  if n = 0 then (0, 0, 0.0)
+  else begin
+    let lo = ref max_int and hi = ref 0 and total = ref 0 in
+    for u = 0 to n - 1 do
+      let d = out_degree t u in
+      if d < !lo then lo := d;
+      if d > !hi then hi := d;
+      total := !total + d
+    done;
+    (!lo, !hi, float_of_int !total /. float_of_int n)
+  end

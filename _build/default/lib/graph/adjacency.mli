@@ -1,0 +1,36 @@
+(** Directed graphs as per-node out-neighbour arrays — the shape of the
+    paper's overlay, where each node stores only the addresses of its
+    neighbours. *)
+
+type t
+
+val of_arrays : int array array -> t
+(** Wrap per-node neighbour arrays.
+    @raise Invalid_argument if any endpoint is out of range. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** Build from an edge list over nodes [0..n-1]. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val out_degree : t -> int -> int
+(** Out-degree of a node. *)
+
+val neighbors : t -> int -> int array
+(** Out-neighbours of a node (do not mutate). *)
+
+val mem_edge : t -> int -> int -> bool
+(** Whether the directed edge u -> v exists. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Apply to every directed edge. *)
+
+val edge_count : t -> int
+(** Total number of directed edges. *)
+
+val reverse : t -> t
+(** Graph with every edge reversed. *)
+
+val degree_summary : t -> int * int * float
+(** (min, max, mean) out-degree. *)

@@ -1,0 +1,1 @@
+lib/metric/line.ml:

@@ -1,0 +1,1 @@
+lib/metric/torus.ml: Array List

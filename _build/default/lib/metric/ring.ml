@@ -1,0 +1,29 @@
+type t = { size : int }
+
+let create size =
+  if size < 1 then invalid_arg "Ring.create: size must be >= 1";
+  { size }
+
+let size t = t.size
+
+let normalize t p = ((p mod t.size) + t.size) mod t.size
+
+let contains t p = p >= 0 && p < t.size
+
+let check t p = if not (contains t p) then invalid_arg "Ring: point out of range"
+
+let distance t a b =
+  check t a;
+  check t b;
+  let d = abs (a - b) in
+  min d (t.size - d)
+
+(* Arc length walking clockwise (increasing identifiers, mod size). *)
+let clockwise_distance t ~src ~dst =
+  check t src;
+  check t dst;
+  normalize t (dst - src)
+
+let add t p delta =
+  check t p;
+  normalize t (p + delta)

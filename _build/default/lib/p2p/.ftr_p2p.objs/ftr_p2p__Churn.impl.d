@@ -1,0 +1,1 @@
+lib/p2p/churn.ml: Ftr_prng Ftr_sim List Overlay

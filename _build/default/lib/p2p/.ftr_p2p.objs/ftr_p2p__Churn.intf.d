@@ -1,0 +1,1 @@
+lib/p2p/churn.mli: Ftr_prng Overlay

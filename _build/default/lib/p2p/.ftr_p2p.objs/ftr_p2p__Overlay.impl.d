@@ -1,0 +1,1 @@
+lib/p2p/overlay.ml: Array Ftr_core Ftr_prng Ftr_sim Hashtbl List Option

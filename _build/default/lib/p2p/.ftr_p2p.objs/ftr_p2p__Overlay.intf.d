@@ -1,0 +1,1 @@
+lib/p2p/overlay.mli: Ftr_prng Ftr_sim

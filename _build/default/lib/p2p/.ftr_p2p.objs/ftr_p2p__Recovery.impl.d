@@ -1,0 +1,1 @@
+lib/p2p/recovery.ml: Array Churn Ftr_prng Ftr_sim List Overlay

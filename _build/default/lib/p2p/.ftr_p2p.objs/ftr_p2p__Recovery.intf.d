@@ -1,0 +1,1 @@
+lib/p2p/recovery.mli: Churn

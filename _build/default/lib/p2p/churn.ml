@@ -1,0 +1,177 @@
+module Engine = Ftr_sim.Engine
+module Rng = Ftr_prng.Rng
+module Sample = Ftr_prng.Sample
+
+type config = {
+  duration : float;
+  join_rate : float;
+  crash_rate : float;
+  leave_rate : float;
+  lookup_rate : float;
+  min_nodes : int;
+}
+
+let default_config =
+  {
+    duration = 1000.0;
+    join_rate = 0.05;
+    crash_rate = 0.02;
+    leave_rate = 0.02;
+    lookup_rate = 1.0;
+    min_nodes = 8;
+  }
+
+(* Uniformly random live node via reservoir sampling over the registry. *)
+let random_live overlay rng =
+  let chosen = ref None and seen = ref 0 in
+  List.iter
+    (fun pos ->
+      incr seen;
+      if Rng.int rng !seen = 0 then chosen := Some pos)
+    (Overlay.live_positions overlay);
+  !chosen
+
+let random_vacant overlay rng ~line_size =
+  let rec attempt tries =
+    if tries > 10_000 then None
+    else
+      let pos = Rng.int rng line_size in
+      if Overlay.is_alive overlay pos then attempt (tries + 1) else Some pos
+  in
+  attempt 0
+
+(* A recurring Poisson process: perform [action], then reschedule after an
+   exponential gap, until the horizon. *)
+let recurring engine rng ~rate ~until action =
+  if rate > 0.0 then begin
+    let rec tick () =
+      if Engine.now engine < until then begin
+        action ();
+        let gap = Sample.exponential rng ~rate in
+        ignore (Engine.schedule_after engine ~delay:gap (fun () -> tick ()))
+      end
+    in
+    let first = Sample.exponential rng ~rate in
+    ignore (Engine.schedule_after engine ~delay:first (fun () -> tick ()))
+  end
+
+let install ?(config = default_config) ~line_size overlay rng =
+  let engine = Overlay.engine overlay in
+  let until = Engine.now engine +. config.duration in
+  recurring engine rng ~rate:config.join_rate ~until (fun () ->
+      match (random_vacant overlay rng ~line_size, random_live overlay rng) with
+      | Some pos, Some via -> Overlay.join overlay ~pos ~via
+      | _ -> ());
+  recurring engine rng ~rate:config.crash_rate ~until (fun () ->
+      if Overlay.node_count overlay > config.min_nodes then
+        match random_live overlay rng with
+        | Some pos -> Overlay.crash overlay ~pos
+        | None -> ());
+  recurring engine rng ~rate:config.leave_rate ~until (fun () ->
+      if Overlay.node_count overlay > config.min_nodes then
+        match random_live overlay rng with
+        | Some pos -> Overlay.leave overlay ~pos
+        | None -> ());
+  recurring engine rng ~rate:config.lookup_rate ~until (fun () ->
+      match random_live overlay rng with
+      | Some from ->
+          let target = Rng.int rng line_size in
+          Overlay.lookup overlay ~from ~target ()
+      | None -> ());
+  until
+
+type report = {
+  final_nodes : int;
+  lookups_issued : int;
+  lookups_ok : int;
+  lookups_failed : int;
+  success_rate : float;
+  mean_hops : float;
+  messages : int;
+  probes : int;
+  repairs : int;
+  joins : int;
+  crashes : int;
+  leaves : int;
+}
+
+let report overlay =
+  let s = Overlay.stats overlay in
+  let resolved = s.Overlay.lookups_ok + s.Overlay.lookups_failed in
+  {
+    final_nodes = Overlay.node_count overlay;
+    lookups_issued = s.Overlay.lookups_issued;
+    lookups_ok = s.Overlay.lookups_ok;
+    lookups_failed = s.Overlay.lookups_failed;
+    success_rate =
+      (if resolved = 0 then nan
+       else float_of_int s.Overlay.lookups_ok /. float_of_int resolved);
+    mean_hops =
+      (if s.Overlay.lookups_ok = 0 then nan
+       else float_of_int s.Overlay.hops_on_success /. float_of_int s.Overlay.lookups_ok);
+    messages = s.Overlay.messages;
+    probes = s.Overlay.probes;
+    repairs = s.Overlay.repairs;
+    joins = s.Overlay.joins;
+    crashes = s.Overlay.crashes;
+    leaves = s.Overlay.leaves;
+  }
+
+let run ?config ?(seed = 42) ~line_size ~initial_nodes ~links () =
+  if initial_nodes < 2 then invalid_arg "Churn.run: need at least two initial nodes";
+  if initial_nodes > line_size then invalid_arg "Churn.run: more nodes than line points";
+  let rng = Rng.of_int seed in
+  let engine = Engine.create () in
+  let overlay = Overlay.create ~line_size ~links ~rng:(Rng.split rng) engine in
+  let positions =
+    (* Evenly spread the initial population, as an even hash would. *)
+    List.init initial_nodes (fun i -> i * line_size / initial_nodes)
+  in
+  Overlay.populate overlay ~positions;
+  let until = install ?config ~line_size overlay (Rng.split rng) in
+  Engine.run ~until engine;
+  (* Let in-flight traffic settle. *)
+  Engine.run ~max_events:1_000_000 engine;
+  report overlay
+
+type join_cost_row = {
+  line_size : int;
+  mean_messages_per_join : float;
+  mean_lookups_per_join : float;
+}
+
+(* Per-join maintenance cost as the network grows: each join issues
+   1 placement lookup + links outgoing-link lookups + Poisson(links)
+   solicitations, each costing O(log n) messages — so the total should
+   grow as O(links * log n). The paper's scalability requirement is that
+   this stays polylogarithmic. *)
+let join_cost ?(links = 8) ?(joins = 50) ?(seed = 7) ~line_sizes () =
+  List.map
+    (fun line_size ->
+      if line_size < 64 then invalid_arg "Churn.join_cost: line too small";
+      let rng = Rng.of_int seed in
+      let engine = Engine.create () in
+      let overlay = Overlay.create ~line_size ~links ~rng:(Rng.split rng) engine in
+      let initial = line_size / 8 in
+      Overlay.populate overlay
+        ~positions:(List.init initial (fun i -> i * line_size / initial));
+      let s = Overlay.stats overlay in
+      let messages_before = s.Overlay.messages and lookups_before = s.Overlay.maintenance_issued in
+      let performed = ref 0 in
+      let join_rng = Rng.split rng in
+      while !performed < joins do
+        let pos = Rng.int join_rng line_size in
+        if not (Overlay.is_alive overlay pos) then begin
+          Overlay.join overlay ~pos ~via:0;
+          Engine.run engine;
+          incr performed
+        end
+      done;
+      {
+        line_size;
+        mean_messages_per_join =
+          float_of_int (s.Overlay.messages - messages_before) /. float_of_int joins;
+        mean_lookups_per_join =
+          float_of_int (s.Overlay.maintenance_issued - lookups_before) /. float_of_int joins;
+      })
+    line_sizes

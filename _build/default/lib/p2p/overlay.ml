@@ -1,0 +1,505 @@
+module Engine = Ftr_sim.Engine
+module Trace = Ftr_sim.Trace
+module Rng = Ftr_prng.Rng
+module Sample = Ftr_prng.Sample
+
+type node = {
+  pos : int;
+  mutable alive : bool;
+  mutable left : int option; (* nearest known live node to the left *)
+  mutable right : int option;
+  mutable long : int list; (* long-distance link targets (positions) *)
+  mutable birth_order : int list; (* arrival ticks, aligned with [long] *)
+}
+
+type stats = {
+  mutable lookups_issued : int;
+  mutable lookups_ok : int;
+  mutable lookups_failed : int;
+  mutable hops_on_success : int;
+  mutable maintenance_issued : int;
+  mutable maintenance_failed : int;
+  mutable messages : int;
+  mutable probes : int; (* failure-detection probes and repair traffic *)
+  mutable repairs : int;
+  mutable joins : int;
+  mutable crashes : int;
+  mutable leaves : int;
+}
+
+type pending_request = {
+  callback : (owner:int -> hops:int -> unit) option;
+  user : bool; (* user lookups and protocol/maintenance traffic are
+                  accounted separately *)
+}
+
+type t = {
+  engine : Engine.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  latency : Ftr_sim.Latency.t;
+  line_size : int;
+  links : int;
+  ttl : int;
+  pl : Sample.power_law;
+  nodes : (int, node) Hashtbl.t;
+  pending : (int, pending_request) Hashtbl.t;
+  stats : stats;
+  mutable next_request : int;
+  mutable tick : int;
+}
+
+let create ?latency ?latency_model ?(ttl = 256) ?(trace = Trace.create ()) ~line_size ~links
+    ~rng engine =
+  if line_size < 2 then invalid_arg "Overlay.create: line_size must be >= 2";
+  if links < 1 then invalid_arg "Overlay.create: links must be >= 1";
+  let latency =
+    match (latency_model, latency) with
+    | Some model, _ -> model
+    | None, Some v ->
+        if v <= 0.0 then invalid_arg "Overlay.create: latency must be positive";
+        Ftr_sim.Latency.constant v
+    | None, None -> Ftr_sim.Latency.constant 1.0
+  in
+  {
+    engine;
+    trace;
+    rng;
+    latency;
+    line_size;
+    links;
+    ttl;
+    pl = Sample.power_law ~exponent:1.0 ~max_length:(line_size - 1);
+    nodes = Hashtbl.create 1024;
+    pending = Hashtbl.create 64;
+    stats =
+      {
+        lookups_issued = 0;
+        lookups_ok = 0;
+        lookups_failed = 0;
+        hops_on_success = 0;
+        maintenance_issued = 0;
+        maintenance_failed = 0;
+        messages = 0;
+        probes = 0;
+        repairs = 0;
+        joins = 0;
+        crashes = 0;
+        leaves = 0;
+      };
+    next_request = 0;
+    tick = 0;
+  }
+
+let stats t = t.stats
+
+let engine t = t.engine
+
+let node_count t =
+  Hashtbl.fold (fun _ node acc -> if node.alive then acc + 1 else acc) t.nodes 0
+
+let live_node t pos =
+  match Hashtbl.find_opt t.nodes pos with
+  | Some node when node.alive -> Some node
+  | Some _ | None -> None
+
+let is_alive t pos = Option.is_some (live_node t pos)
+
+let live_positions t =
+  let acc = ref [] in
+  Hashtbl.iter (fun pos node -> if node.alive then acc := pos :: !acc) t.nodes;
+  List.sort compare !acc
+
+let neighbors_of node =
+  let ring = Option.to_list node.left @ Option.to_list node.right in
+  ring @ node.long
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+(* ------------------------------------------------------------------ *)
+(* Link maintenance                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let remove_long node target =
+  let rec drop ls bs =
+    match (ls, bs) with
+    | [], [] -> ([], [])
+    | l :: ls', b :: bs' ->
+        if l = target then (ls', bs')
+        else
+          let ls'', bs'' = drop ls' bs' in
+          (l :: ls'', b :: bs'')
+    | _ -> (ls, bs)
+  in
+  let ls, bs = drop node.long node.birth_order in
+  node.long <- ls;
+  node.birth_order <- bs
+
+let add_long t node target =
+  node.long <- target :: node.long;
+  node.birth_order <- next_tick t :: node.birth_order
+
+(* Section 5's replacement rule, applied when [v] solicits a link from
+   [node]: accept with probability p_{k+1}/sum, evict proportionally. *)
+let consider_redirect t node ~newcomer =
+  if newcomer <> node.pos then begin
+    let weights = List.map (fun l -> 1.0 /. float_of_int (abs (node.pos - l))) node.long in
+    let sum_old = List.fold_left ( +. ) 0.0 weights in
+    if sum_old > 0.0 then begin
+      let p_new = 1.0 /. float_of_int (abs (node.pos - newcomer)) in
+      if Rng.float t.rng < p_new /. (sum_old +. p_new) then begin
+        let target = Rng.float t.rng *. sum_old in
+        let victim =
+          let rec scan acc = function
+            | [] -> None
+            | (l, w) :: rest -> if acc +. w > target then Some l else scan (acc +. w) rest
+          in
+          scan 0.0 (List.combine node.long weights)
+        in
+        match victim with
+        | Some v ->
+            remove_long node v;
+            add_long t node newcomer
+        | None -> ()
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Greedy lookup with failure detection                                *)
+(* ------------------------------------------------------------------ *)
+
+let fail_request t request =
+  match Hashtbl.find_opt t.pending request with
+  | Some { user; _ } ->
+      Hashtbl.remove t.pending request;
+      if user then t.stats.lookups_failed <- t.stats.lookups_failed + 1
+      else t.stats.maintenance_failed <- t.stats.maintenance_failed + 1
+  | None -> ()
+
+let resolve_request t ~owner ~request ~hops =
+  match Hashtbl.find_opt t.pending request with
+  | Some { callback; user } ->
+      Hashtbl.remove t.pending request;
+      if user then begin
+        t.stats.lookups_ok <- t.stats.lookups_ok + 1;
+        t.stats.hops_on_success <- t.stats.hops_on_success + hops
+      end;
+      (match callback with Some f -> f ~owner ~hops | None -> ())
+  | None -> ()
+
+(* One greedy step at the node sitting at [at]. Dead neighbours are
+   detected by a probe (costing a message and a latency round trip) and
+   repaired out of the link set before the next-best candidate is tried. *)
+let rec lookup_step t ~at ~target ~request ~hops =
+  match live_node t at with
+  | None ->
+      (* The carrier died with the message in hand. *)
+      Trace.debugf t.trace ~time:(Engine.now t.engine) "lookup %d lost at dead node %d" request
+        at;
+      fail_request t request
+  | Some node ->
+      if hops >= t.ttl then fail_request t request
+      else begin
+        (* Strictly closer neighbours advance the lookup; an equidistant
+           neighbour at a smaller position also does, so a point midway
+           between two nodes resolves to the same owner from either
+           direction (the tie walk moves leftward once and stops). *)
+        let my_dist = abs (node.pos - target) in
+        let candidates =
+          List.filter
+            (fun v ->
+              let d = abs (v - target) in
+              d < my_dist || (d = my_dist && v < node.pos))
+            (neighbors_of node)
+          |> List.sort_uniq (fun a b ->
+                 compare (abs (a - target), a) (abs (b - target), b))
+        in
+        try_candidates t node ~candidates ~target ~request ~hops
+      end
+
+and try_candidates t node ~candidates ~target ~request ~hops =
+  match candidates with
+  | [] ->
+      (* No live neighbour closer: this node owns the target's basin. *)
+      resolve_request t ~owner:node.pos ~request ~hops
+  | v :: rest -> (
+      match live_node t v with
+      | Some _ ->
+          t.stats.messages <- t.stats.messages + 1;
+          ignore
+            (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
+                 (* The neighbour may have crashed in flight; arrival
+                    re-checks and bounces back on failure. *)
+                 match live_node t v with
+                 | Some _ -> lookup_step t ~at:v ~target ~request ~hops:(hops + 1)
+                 | None ->
+                     ignore
+                       (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
+                            on_dead_neighbor t node ~dead:v ~target ~request ~hops))))
+      | None ->
+          (* Probe discovers the neighbour is already dead. *)
+          t.stats.probes <- t.stats.probes + 1;
+          on_dead_neighbor t node ~dead:v ~target ~request ~hops;
+          ignore rest)
+
+and on_dead_neighbor t node ~dead ~target ~request ~hops =
+  if not node.alive then fail_request t request
+  else begin
+    drop_dead_link t node ~dead;
+    lookup_step t ~at:node.pos ~target ~request ~hops
+  end
+
+(* Remove a dead link and regenerate it (Section 5's "same heuristic can
+   be used for regeneration of links when a node crashes"). Ring links are
+   repaired by probing outward along the line. *)
+and drop_dead_link t node ~dead =
+  if List.mem dead node.long then begin
+    remove_long node dead;
+    t.stats.repairs <- t.stats.repairs + 1;
+    regenerate_long_link t node
+  end;
+  if node.left = Some dead then begin
+    node.left <- probe_ring t node ~from:dead ~dir:(-1);
+    t.stats.repairs <- t.stats.repairs + 1
+  end;
+  if node.right = Some dead then begin
+    node.right <- probe_ring t node ~from:dead ~dir:1;
+    t.stats.repairs <- t.stats.repairs + 1
+  end
+
+and probe_ring t node ~from ~dir =
+  (* Walk the line away from the dead neighbour, one probe per grid point,
+     until a live node answers. *)
+  let rec walk pos =
+    if pos < 0 || pos >= t.line_size then None
+    else begin
+      t.stats.probes <- t.stats.probes + 1;
+      if is_alive t pos && pos <> node.pos then Some pos else walk (pos + dir)
+    end
+  in
+  walk (from + dir)
+
+and regenerate_long_link t node =
+  (* Sample a fresh sink by the 1/d law and claim its basin owner through
+     a routed lookup issued by this node. *)
+  let sink = Ftr_core.Network.sample_long_target t.pl t.rng ~n:t.line_size ~src:node.pos in
+  internal_lookup t ~from:node.pos ~target:sink
+    ~callback:
+      (Some
+         (fun ~owner ~hops:_ ->
+           if node.alive && owner <> node.pos && not (List.mem owner node.long) then
+             add_long t node owner))
+    ()
+
+and internal_lookup t ?(user = false) ~from ~target ~callback () =
+  let request = t.next_request in
+  t.next_request <- request + 1;
+  Hashtbl.replace t.pending request { callback; user };
+  if user then t.stats.lookups_issued <- t.stats.lookups_issued + 1
+  else t.stats.maintenance_issued <- t.stats.maintenance_issued + 1;
+  lookup_step t ~at:from ~target ~request ~hops:0
+
+let lookup t ~from ~target ?callback () =
+  if not (is_alive t from) then invalid_arg "Overlay.lookup: source is not a live node";
+  if target < 0 || target >= t.line_size then invalid_arg "Overlay.lookup: target off the line";
+  internal_lookup t ~user:true ~from ~target ~callback ()
+
+(* ------------------------------------------------------------------ *)
+(* Membership                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let insert_into_ring t node ~owner_pos =
+  match live_node t owner_pos with
+  | None -> ()
+  | Some owner ->
+      if owner.pos < node.pos then begin
+        (* v sits between owner and owner's right neighbour. *)
+        node.left <- Some owner.pos;
+        node.right <- owner.right;
+        (match Option.bind owner.right (live_node t) with
+        | Some r -> r.left <- Some node.pos
+        | None -> ());
+        owner.right <- Some node.pos
+      end
+      else begin
+        node.left <- owner.left;
+        node.right <- Some owner.pos;
+        (match Option.bind owner.left (live_node t) with
+        | Some l -> l.right <- Some node.pos
+        | None -> ());
+        owner.left <- Some node.pos
+      end
+
+let bootstrap_node t ~pos =
+  if Hashtbl.mem t.nodes pos then invalid_arg "Overlay.bootstrap_node: position occupied";
+  let node = { pos; alive = true; left = None; right = None; long = []; birth_order = [] } in
+  Hashtbl.replace t.nodes pos node;
+  t.stats.joins <- t.stats.joins + 1;
+  node.pos
+
+let join t ~pos ~via =
+  if pos < 0 || pos >= t.line_size then invalid_arg "Overlay.join: position off the line";
+  (match Hashtbl.find_opt t.nodes pos with
+  | Some node when node.alive -> invalid_arg "Overlay.join: position occupied"
+  | Some _ | None -> ());
+  if not (is_alive t via) then invalid_arg "Overlay.join: bootstrap node is dead";
+  let node = { pos; alive = true; left = None; right = None; long = []; birth_order = [] } in
+  Hashtbl.replace t.nodes pos node;
+  t.stats.joins <- t.stats.joins + 1;
+  Trace.infof t.trace ~time:(Engine.now t.engine) "join %d via %d" pos via;
+  (* Step 1: find our place on the ring by looking up our own position. *)
+  internal_lookup t ~from:via ~target:pos
+    ~callback:
+      (Some
+         (fun ~owner ~hops:_ ->
+           if node.alive then begin
+             insert_into_ring t node ~owner_pos:owner;
+             (* Step 2: ℓ outgoing long links through routed lookups. *)
+             for _ = 1 to t.links do
+               let sink =
+                 Ftr_core.Network.sample_long_target t.pl t.rng ~n:t.line_size ~src:pos
+               in
+               internal_lookup t ~from:pos ~target:sink
+                 ~callback:
+                   (Some
+                      (fun ~owner ~hops:_ ->
+                        if node.alive && owner <> pos then add_long t node owner))
+                 ()
+             done;
+             (* Step 3: solicit Poisson(ℓ) incoming links. *)
+             let solicit = Sample.poisson t.rng ~lambda:(float_of_int t.links) in
+             for _ = 1 to solicit do
+               let sink =
+                 Ftr_core.Network.sample_long_target t.pl t.rng ~n:t.line_size ~src:pos
+               in
+               internal_lookup t ~from:pos ~target:sink
+                 ~callback:
+                   (Some
+                      (fun ~owner ~hops:_ ->
+                        t.stats.messages <- t.stats.messages + 1;
+                        match live_node t owner with
+                        | Some owner_node when node.alive ->
+                            consider_redirect t owner_node ~newcomer:pos
+                        | Some _ | None -> ()))
+                 ()
+             done
+           end))
+    ()
+
+let crash t ~pos =
+  match live_node t pos with
+  | None -> ()
+  | Some node ->
+      node.alive <- false;
+      t.stats.crashes <- t.stats.crashes + 1;
+      Trace.infof t.trace ~time:(Engine.now t.engine) "crash %d" pos
+
+let leave t ~pos =
+  match live_node t pos with
+  | None -> ()
+  | Some node ->
+      (* Graceful departure: splice the ring before going. *)
+      (match (Option.bind node.left (live_node t), Option.bind node.right (live_node t)) with
+      | Some l, Some r ->
+          l.right <- Some r.pos;
+          r.left <- Some l.pos;
+          t.stats.messages <- t.stats.messages + 2
+      | Some l, None -> l.right <- None
+      | None, Some r -> r.left <- None
+      | None, None -> ());
+      node.alive <- false;
+      t.stats.leaves <- t.stats.leaves + 1;
+      Trace.infof t.trace ~time:(Engine.now t.engine) "leave %d" pos
+
+(* Instantiate a whole network at time zero without paying the join
+   message cost, for tests and as a churn starting point. *)
+let populate t ~positions =
+  match positions with
+  | [] -> invalid_arg "Overlay.populate: need at least one position"
+  | first :: rest ->
+      let sorted = List.sort_uniq compare (first :: rest) in
+      List.iter
+        (fun pos ->
+          if pos < 0 || pos >= t.line_size then invalid_arg "Overlay.populate: off the line";
+          ignore (bootstrap_node t ~pos))
+        sorted;
+      (* Ring links. *)
+      let arr = Array.of_list sorted in
+      Array.iteri
+        (fun i pos ->
+          let node = Hashtbl.find t.nodes pos in
+          if i > 0 then node.left <- Some arr.(i - 1);
+          if i < Array.length arr - 1 then node.right <- Some arr.(i + 1))
+        arr;
+      (* Long links by direct sampling (the ideal distribution). *)
+      Array.iter
+        (fun pos ->
+          let node = Hashtbl.find t.nodes pos in
+          for _ = 1 to t.links do
+            let sink = Ftr_core.Network.sample_long_target t.pl t.rng ~n:t.line_size ~src:pos in
+            (* Snap to the nearest populated position. *)
+            let owner =
+              let rec nearest d =
+                let lo = sink - d and hi = sink + d in
+                if lo < 0 && hi >= t.line_size then node.pos
+                else if lo >= 0 && Hashtbl.mem t.nodes lo then lo
+                else if hi < t.line_size && Hashtbl.mem t.nodes hi then hi
+                else nearest (d + 1)
+              in
+              nearest 0
+            in
+            if owner <> pos then add_long t node owner
+          done)
+        arr
+
+(* ------------------------------------------------------------------ *)
+(* Proactive stabilization                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodic self-healing, independent of lookup traffic: every [period],
+   [checks_per_tick] random live nodes each probe one random neighbour and
+   repair it if dead (the paper's repair mechanism "trying to heal the
+   damage" in the background, with cost amortised over time rather than
+   over searches). *)
+let enable_stabilization ?(period = 10.0) ?(checks_per_tick = 8) ~until t =
+  if period <= 0.0 then invalid_arg "Overlay.enable_stabilization: period must be positive";
+  if checks_per_tick < 1 then
+    invalid_arg "Overlay.enable_stabilization: checks_per_tick must be >= 1";
+  let random_live () =
+    (* Reservoir sample over the registry. *)
+    let chosen = ref None and seen = ref 0 in
+    Hashtbl.iter
+      (fun pos node ->
+        if node.alive then begin
+          incr seen;
+          if Rng.int t.rng !seen = 0 then chosen := Some pos
+        end)
+      t.nodes;
+    !chosen
+  in
+  let check_one () =
+    match random_live () with
+    | None -> ()
+    | Some pos -> (
+        match live_node t pos with
+        | None -> ()
+        | Some node -> (
+            let candidates = Array.of_list (neighbors_of node) in
+            if Array.length candidates > 0 then begin
+              let v = candidates.(Rng.int t.rng (Array.length candidates)) in
+              t.stats.probes <- t.stats.probes + 1;
+              if not (is_alive t v) then drop_dead_link t node ~dead:v
+            end))
+  in
+  let rec tick () =
+    if Engine.now t.engine < until then begin
+      for _ = 1 to checks_per_tick do
+        check_one ()
+      done;
+      ignore (Engine.schedule_after t.engine ~delay:period (fun () -> tick ()))
+    end
+  in
+  ignore (Engine.schedule_after t.engine ~delay:period (fun () -> tick ()))

@@ -1,0 +1,120 @@
+module Engine = Ftr_sim.Engine
+module Rng = Ftr_prng.Rng
+
+(* Self-stabilization made visible: wound the overlay with a mass failure,
+   let only the background repair process run, and sample lookup health at
+   regular intervals — the time-series answer to the paper's "the system
+   should self-heal" requirement. *)
+
+type sample = {
+  time : float;
+  success_rate : float;  (** of this interval's probe lookups *)
+  probes_per_lookup : float;  (** failure-detection overhead this interval *)
+  mean_hops : float;  (** of this interval's successful lookups *)
+  repairs_so_far : int;
+  probes_so_far : int;
+}
+
+type result = {
+  samples : sample list;
+  initial_nodes : int;
+  killed : int;
+}
+
+let run ?(line_size = 4096) ?(links = 8) ?(kill_fraction = 0.3) ?(period = 5.0)
+    ?(checks_per_tick = 32) ?(sample_every = 50.0) ?(samples = 12) ?(probes_per_sample = 100)
+    ?(seed = 11) () =
+  if kill_fraction < 0.0 || kill_fraction >= 1.0 then
+    invalid_arg "Recovery.run: kill_fraction must be in [0,1)";
+  if samples < 1 || probes_per_sample < 1 then
+    invalid_arg "Recovery.run: need at least one sample and one probe";
+  let rng = Rng.of_int seed in
+  let engine = Engine.create () in
+  let overlay = Overlay.create ~line_size ~links ~rng:(Rng.split rng) engine in
+  let initial = line_size / 8 in
+  Overlay.populate overlay ~positions:(List.init initial (fun i -> i * line_size / initial));
+  (* The wound: a random fraction of nodes crashes at time zero. *)
+  let kill_rng = Rng.split rng in
+  let killed = ref 0 in
+  List.iter
+    (fun pos ->
+      if Rng.bernoulli kill_rng kill_fraction then begin
+        Overlay.crash overlay ~pos;
+        incr killed
+      end)
+    (Overlay.live_positions overlay);
+  let horizon = sample_every *. float_of_int (samples + 1) in
+  Overlay.enable_stabilization ~period ~checks_per_tick ~until:horizon overlay;
+  let probe_rng = Rng.split rng in
+  let recorded = ref [] in
+  let schedule_sample i =
+    let at = sample_every *. float_of_int i in
+    ignore
+      (Engine.schedule_at engine ~time:at (fun () ->
+           let s = Overlay.stats overlay in
+           let ok_before = s.Overlay.lookups_ok and failed_before = s.Overlay.lookups_failed in
+           let probes_before = s.Overlay.probes and hops_before = s.Overlay.hops_on_success in
+           (* Stabilization probes during the settle window pollute the
+              per-lookup overhead slightly; with checks_per_tick per period
+              the contribution is bounded and identical per interval. *)
+           let positions = Array.of_list (Overlay.live_positions overlay) in
+           for _ = 1 to probes_per_sample do
+             let from = positions.(Rng.int probe_rng (Array.length positions)) in
+             Overlay.lookup overlay ~from ~target:(Rng.int probe_rng line_size) ()
+           done;
+           (* Record once this interval's probes have settled. *)
+           ignore
+             (Engine.schedule_after engine ~delay:(sample_every /. 2.0) (fun () ->
+                  let ok = s.Overlay.lookups_ok - ok_before in
+                  let failed = s.Overlay.lookups_failed - failed_before in
+                  let total = max 1 (ok + failed) in
+                  recorded :=
+                    {
+                      time = at;
+                      success_rate = float_of_int ok /. float_of_int total;
+                      probes_per_lookup =
+                        float_of_int (s.Overlay.probes - probes_before)
+                        /. float_of_int probes_per_sample;
+                      mean_hops =
+                        (if ok = 0 then nan
+                         else
+                           float_of_int (s.Overlay.hops_on_success - hops_before)
+                           /. float_of_int ok);
+                      repairs_so_far = s.Overlay.repairs;
+                      probes_so_far = s.Overlay.probes;
+                    }
+                    :: !recorded))))
+  in
+  for i = 1 to samples do
+    schedule_sample i
+  done;
+  Engine.run ~until:horizon engine;
+  Engine.run ~max_events:1_000_000 engine;
+  { samples = List.rev !recorded; initial_nodes = initial; killed = !killed }
+
+type churn_sweep_row = {
+  events_per_unit : float;  (** total membership-event rate *)
+  report : Churn.report;
+}
+
+(* Lookup health as churn intensifies: the same workload shape at growing
+   membership-event rates. *)
+let churn_sweep ?(line_size = 2048) ?(links = 8) ?(duration = 800.0) ?(lookup_rate = 2.0)
+    ?(rates = [ 0.02; 0.05; 0.1; 0.2; 0.4 ]) ?(seed = 13) () =
+  List.map
+    (fun rate ->
+      let report =
+        Churn.run
+          ~config:
+            {
+              Churn.duration;
+              join_rate = rate /. 2.0;
+              crash_rate = rate /. 3.0;
+              leave_rate = rate /. 6.0;
+              lookup_rate;
+              min_nodes = 16;
+            }
+          ~seed ~line_size ~initial_nodes:(line_size / 8) ~links ()
+      in
+      { events_per_unit = rate; report })
+    rates

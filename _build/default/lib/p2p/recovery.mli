@@ -1,0 +1,58 @@
+(** Self-healing experiments over the live overlay.
+
+    {!run} wounds the network with a mass crash and samples lookup health
+    over time while only background stabilization runs — the recovery
+    curve of the paper's self-stabilization requirement. {!churn_sweep}
+    stresses the protocol at growing membership-event rates. *)
+
+type sample = {
+  time : float;
+  success_rate : float;  (** of this interval's probe lookups *)
+  probes_per_lookup : float;
+      (** dead-neighbour detections this interval's lookups paid for —
+          the repair burden, which decays as stabilization heals the
+          overlay (background stabilization probes during the interval
+          contribute a small constant) *)
+  mean_hops : float;  (** of this interval's successful lookups *)
+  repairs_so_far : int;
+  probes_so_far : int;
+}
+
+type result = {
+  samples : sample list;  (** in time order *)
+  initial_nodes : int;
+  killed : int;  (** nodes crashed at time zero *)
+}
+
+val run :
+  ?line_size:int ->
+  ?links:int ->
+  ?kill_fraction:float ->
+  ?period:float ->
+  ?checks_per_tick:int ->
+  ?sample_every:float ->
+  ?samples:int ->
+  ?probes_per_sample:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Crash [kill_fraction] of the population at time zero, enable
+    stabilization, and measure probe-lookup success every [sample_every]
+    time units. @raise Invalid_argument on out-of-range parameters. *)
+
+type churn_sweep_row = {
+  events_per_unit : float;  (** total membership-event rate *)
+  report : Churn.report;
+}
+
+val churn_sweep :
+  ?line_size:int ->
+  ?links:int ->
+  ?duration:float ->
+  ?lookup_rate:float ->
+  ?rates:float list ->
+  ?seed:int ->
+  unit ->
+  churn_sweep_row list
+(** Run the standard churn workload at each membership-event rate and
+    report lookup health. *)

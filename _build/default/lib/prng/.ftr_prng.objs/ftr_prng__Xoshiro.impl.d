@@ -1,0 +1,1 @@
+lib/prng/xoshiro.ml: Int64 Splitmix64

@@ -1,0 +1,58 @@
+(** Convenience layer over {!Xoshiro}: bounded integers without modulo bias,
+    floats in [0,1), Bernoulli draws, shuffles and permutations.
+
+    Every simulation component takes one of these explicitly — there is no
+    hidden global generator, so every experiment is reproducible from its
+    seed. *)
+
+type t
+(** A generator (mutable state). *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh generator; default seed is fixed so unseeded uses are still
+    deterministic. *)
+
+val of_int : int -> t
+(** Generator seeded from an OCaml [int]. *)
+
+val split : t -> t
+(** Child generator with a decorrelated stream; advances the parent. *)
+
+val copy : t -> t
+(** Copy of the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Raw 64-bit output. *)
+
+val bits : t -> int
+(** Uniform non-negative int in [0, 2^62). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound), bias-free.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [lo, hi].
+    @raise Invalid_argument if [lo > hi]. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53 bits of precision. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniformly random permutation of [0..n-1]. *)

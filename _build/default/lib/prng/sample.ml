@@ -1,0 +1,162 @@
+(* Discrete samplers built on Rng. All tables are immutable once built so a
+   single table can be shared by many generators/threads. *)
+
+type cdf = { cumulative : float array }
+
+let cdf_of_weights weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sample.cdf_of_weights: empty weights";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let w = weights.(i) in
+    if w < 0.0 || Float.is_nan w then
+      invalid_arg "Sample.cdf_of_weights: negative or NaN weight";
+    total := !total +. w;
+    cumulative.(i) <- !total
+  done;
+  if !total <= 0.0 then invalid_arg "Sample.cdf_of_weights: zero total weight";
+  for i = 0 to n - 1 do
+    cumulative.(i) <- cumulative.(i) /. !total
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative }
+
+let cdf_size { cumulative } = Array.length cumulative
+
+(* First index i with cumulative.(i) > u; u in [0,1). *)
+let cdf_draw { cumulative } rng =
+  let u = Rng.float rng in
+  let n = Array.length cumulative in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let cdf_probability { cumulative } i =
+  if i < 0 || i >= Array.length cumulative then
+    invalid_arg "Sample.cdf_probability: index out of range";
+  if i = 0 then cumulative.(0) else cumulative.(i) -. cumulative.(i - 1)
+
+type alias = { prob : float array; alias_of : int array }
+
+(* Vose's alias method: O(n) construction, O(1) draws. *)
+let alias_of_weights weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Sample.alias_of_weights: empty weights";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 || Float.is_nan total then
+    invalid_arg "Sample.alias_of_weights: non-positive total weight";
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 0.0 in
+  let alias_of = Array.make n 0 in
+  let small = Queue.create () in
+  let large = Queue.create () in
+  Array.iteri (fun i p -> if p < 1.0 then Queue.add i small else Queue.add i large) scaled;
+  while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+    let s = Queue.pop small in
+    let l = Queue.pop large in
+    prob.(s) <- scaled.(s);
+    alias_of.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Queue.add l small else Queue.add l large
+  done;
+  Queue.iter (fun i -> prob.(i) <- 1.0) small;
+  Queue.iter (fun i -> prob.(i) <- 1.0) large;
+  { prob; alias_of }
+
+let alias_draw { prob; alias_of } rng =
+  let i = Rng.int rng (Array.length prob) in
+  if Rng.float rng < prob.(i) then i else alias_of.(i)
+
+let exponential rng ~rate =
+  if rate <= 0.0 then invalid_arg "Sample.exponential: rate must be positive";
+  (* 1 - u avoids log 0. *)
+  -.log (1.0 -. Rng.float rng) /. rate
+
+let geometric rng ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Sample.geometric: p must be in (0,1]";
+  if p = 1.0 then 1
+  else
+    (* Number of Bernoulli(p) trials up to and including the first success. *)
+    let u = 1.0 -. Rng.float rng in
+    1 + int_of_float (floor (log u /. log (1.0 -. p)))
+
+let poisson rng ~lambda =
+  if lambda < 0.0 then invalid_arg "Sample.poisson: lambda must be non-negative";
+  if lambda = 0.0 then 0
+  else if lambda < 30.0 then begin
+    (* Knuth's product-of-uniforms method. *)
+    let limit = exp (-.lambda) in
+    let rec go k prod =
+      let prod = prod *. Rng.float rng in
+      if prod <= limit then k else go (k + 1) prod
+    in
+    go 0 1.0
+  end
+  else begin
+    (* Split: Poisson(a+b) = Poisson(a) + Poisson(b). Keeps each chunk in
+       the numerically safe range of the product method. *)
+    let chunk = 20.0 in
+    let rec go remaining acc =
+      if remaining > chunk then go (remaining -. chunk) (acc + poisson_chunk rng chunk)
+      else acc + poisson_chunk rng remaining
+    and poisson_chunk rng lambda =
+      let limit = exp (-.lambda) in
+      let rec inner k prod =
+        let prod = prod *. Rng.float rng in
+        if prod <= limit then k else inner (k + 1) prod
+      in
+      inner 0 1.0
+    in
+    go lambda 0
+  end
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sample.binomial: n must be non-negative";
+  if p < 0.0 || p > 1.0 then invalid_arg "Sample.binomial: p must be in [0,1]";
+  (* Direct Bernoulli sum; n in our workloads is small (node degrees). *)
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.float rng < p then incr count
+  done;
+  !count
+
+type power_law = {
+  max_length : int;
+  prefix : float array; (* prefix.(i) = sum_{d=1..i+1} d^-exponent *)
+}
+
+let power_law ~exponent ~max_length =
+  if max_length < 1 then invalid_arg "Sample.power_law: max_length must be >= 1";
+  let prefix = Array.make max_length 0.0 in
+  let acc = ref 0.0 in
+  for d = 1 to max_length do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int d) exponent);
+    prefix.(d - 1) <- !acc
+  done;
+  { max_length; prefix }
+
+let power_law_total t ~upto =
+  if upto < 0 || upto > t.max_length then
+    invalid_arg "Sample.power_law_total: out of range";
+  if upto = 0 then 0.0 else t.prefix.(upto - 1)
+
+(* Inverse-CDF draw of a length d in [1, upto] with Pr[d] proportional to
+   d^-exponent, by binary search in the prefix table. *)
+let power_law_draw t rng ~upto =
+  if upto < 1 || upto > t.max_length then
+    invalid_arg "Sample.power_law_draw: upto out of range";
+  let target = Rng.float rng *. t.prefix.(upto - 1) in
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if t.prefix.(mid) > target then search lo mid else search (mid + 1) hi
+  in
+  search 0 (upto - 1)
+
+let power_law_max_length t = t.max_length

@@ -1,0 +1,43 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let of_state s0 s1 s2 s3 =
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Xoshiro.of_state: all-zero state";
+  { s0; s1; s2; s3 }
+
+let of_splitmix sm =
+  let s0 = Splitmix64.next_int64 sm in
+  let s1 = Splitmix64.next_int64 sm in
+  let s2 = Splitmix64.next_int64 sm in
+  let s3 = Splitmix64.next_int64 sm in
+  (* SplitMix64 output is equidistributed so an all-zero draw is all but
+     impossible, but the xoshiro state must never be all zero. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then { s0 = 1L; s1; s2; s3 }
+  else { s0; s1; s2; s3 }
+
+let create seed = of_splitmix (Splitmix64.create seed)
+
+let of_int seed = create (Int64.of_int seed)
+
+(* xoshiro256** next(): the state transition is a linear map on GF(2)^256;
+   the star-star scrambler breaks its linearity in the output. *)
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let split t =
+  (* Derive an independent stream by reseeding SplitMix64 from the parent.
+     The derived stream's trajectory is decorrelated from the parent's. *)
+  let sm = Splitmix64.create (next_int64 t) in
+  of_splitmix sm

@@ -1,0 +1,1 @@
+lib/sim/periodic.ml: Engine Ftr_prng

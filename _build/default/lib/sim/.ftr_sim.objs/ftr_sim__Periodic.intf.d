@@ -1,0 +1,1 @@
+lib/sim/periodic.mli: Engine Ftr_prng

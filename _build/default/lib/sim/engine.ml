@@ -1,0 +1,88 @@
+type event = {
+  time : float;
+  seq : int; (* tie-breaker: FIFO among same-time events, for determinism *)
+  id : int;
+  action : unit -> unit;
+}
+
+type t = {
+  heap : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable next_id : int;
+  mutable executed : int;
+}
+
+type handle = int
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    heap = Heap.create ~compare:compare_events;
+    cancelled = Hashtbl.create 64;
+    now = 0.0;
+    next_seq = 0;
+    next_id = 0;
+    executed = 0;
+  }
+
+let now t = t.now
+
+let executed_events t = t.executed
+
+let pending_events t = Heap.length t.heap - Hashtbl.length t.cancelled
+
+let schedule_at t ~time action =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap { time; seq; id; action };
+  id
+
+let schedule_after t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t ~time:(t.now +. delay) action
+
+(* Lazy deletion: cancelled ids are skipped (and forgotten) at pop time. *)
+let cancel t handle = Hashtbl.replace t.cancelled handle ()
+
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some ev ->
+      if Hashtbl.mem t.cancelled ev.id then begin
+        Hashtbl.remove t.cancelled ev.id;
+        step t
+      end
+      else begin
+        t.now <- ev.time;
+        t.executed <- t.executed + 1;
+        ev.action ();
+        true
+      end
+
+let run ?max_events ?until t =
+  let budget = match max_events with None -> max_int | Some m -> m in
+  let horizon = match until with None -> infinity | Some h -> h in
+  let rec loop remaining =
+    if remaining = 0 then ()
+    else
+      match Heap.peek t.heap with
+      | None -> ()
+      | Some ev ->
+          if ev.time > horizon then ()
+          else if step t then loop (remaining - 1)
+          else ()
+  in
+  loop budget
+
+let drain t =
+  Heap.clear t.heap;
+  Hashtbl.reset t.cancelled

@@ -1,0 +1,27 @@
+(** Array-backed binary min-heap, the event queue's core. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [compare] (smallest first). *)
+
+val push : 'a t -> 'a -> unit
+(** Insert; O(log n). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element; O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val length : 'a t -> int
+(** Number of elements. *)
+
+val is_empty : 'a t -> bool
+(** Whether the heap holds no elements. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive sorted drain (for tests and debugging). *)

@@ -1,0 +1,35 @@
+(* Message-delay models for protocol simulations. The paper simulates "at
+   the application level" with an implicit unit delay; these models let the
+   dynamic experiments check that its conclusions do not secretly depend on
+   synchrony. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+let constant v =
+  if v <= 0.0 then invalid_arg "Latency.constant: delay must be positive";
+  Constant v
+
+let uniform ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Latency.uniform: need 0 < lo <= hi";
+  Uniform { lo; hi }
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Latency.exponential: mean must be positive";
+  Exponential { mean }
+
+let sample t rng =
+  match t with
+  | Constant v -> v
+  | Uniform { lo; hi } -> Ftr_prng.Rng.float_range rng ~lo ~hi
+  | Exponential { mean } ->
+      (* Shifted slightly off zero so events never collapse onto their
+         senders' timestamps. *)
+      Float.max 1e-9 (Ftr_prng.Sample.exponential rng ~rate:(1.0 /. mean))
+
+let mean = function
+  | Constant v -> v
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean

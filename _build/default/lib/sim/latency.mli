@@ -1,0 +1,25 @@
+(** Per-message delay models for protocol simulations: fixed delays for
+    determinism-friendly runs, jittered and heavy-tailed ones to check that
+    conclusions survive asynchrony. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+val constant : float -> t
+(** Fixed delay. @raise Invalid_argument unless positive. *)
+
+val uniform : lo:float -> hi:float -> t
+(** Uniform jitter in [lo, hi]. @raise Invalid_argument unless
+    [0 < lo <= hi]. *)
+
+val exponential : mean:float -> t
+(** Heavy-ish tail with the given mean (clamped away from zero).
+    @raise Invalid_argument unless the mean is positive. *)
+
+val sample : t -> Ftr_prng.Rng.t -> float
+(** One delay draw; always strictly positive. *)
+
+val mean : t -> float
+(** Expected delay of the model. *)

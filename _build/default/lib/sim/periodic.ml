@@ -1,0 +1,36 @@
+(* Recurring activities over the engine: fixed-period ticks and Poisson
+   processes. Self-rescheduling closures that stop at a horizon, so a
+   bounded run always drains the queue. *)
+
+let every engine ~period ~until f =
+  if period <= 0.0 then invalid_arg "Periodic.every: period must be positive";
+  let rec tick () =
+    if Engine.now engine < until then begin
+      f ();
+      ignore (Engine.schedule_after engine ~delay:period tick)
+    end
+  in
+  if Engine.now engine +. period <= until then
+    ignore (Engine.schedule_after engine ~delay:period tick)
+
+let poisson engine rng ~rate ~until f =
+  if rate <= 0.0 then invalid_arg "Periodic.poisson: rate must be positive";
+  let gap () = Ftr_prng.Sample.exponential rng ~rate in
+  let rec tick () =
+    if Engine.now engine < until then begin
+      f ();
+      ignore (Engine.schedule_after engine ~delay:(gap ()) tick)
+    end
+  in
+  ignore (Engine.schedule_after engine ~delay:(gap ()) tick)
+
+let countdown engine ~period ~times f =
+  if period <= 0.0 then invalid_arg "Periodic.countdown: period must be positive";
+  if times < 0 then invalid_arg "Periodic.countdown: negative count";
+  let rec tick remaining =
+    if remaining > 0 then begin
+      f (times - remaining);
+      ignore (Engine.schedule_after engine ~delay:period (fun () -> tick (remaining - 1)))
+    end
+  in
+  if times > 0 then ignore (Engine.schedule_after engine ~delay:period (fun () -> tick times))

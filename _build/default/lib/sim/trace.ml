@@ -1,0 +1,52 @@
+type level = Debug | Info | Warn
+
+type entry = { time : float; level : level; message : string }
+
+type t = {
+  mutable entries : entry list; (* most recent first *)
+  mutable count : int;
+  capacity : int;
+  mutable min_level : level;
+}
+
+let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
+
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let create ?(capacity = 10_000) ?(min_level = Info) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { entries = []; count = 0; capacity; min_level }
+
+let set_min_level t level = t.min_level <- level
+
+let record t ~time ~level message =
+  if level_rank level >= level_rank t.min_level then begin
+    t.entries <- { time; level; message } :: t.entries;
+    t.count <- t.count + 1;
+    if t.count > t.capacity then begin
+      (* Drop the oldest half; amortised O(1) per record. *)
+      let keep = t.capacity / 2 in
+      let rec take n acc = function
+        | [] -> List.rev acc
+        | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
+      in
+      t.entries <- take keep [] t.entries;
+      t.count <- keep
+    end
+  end
+
+let debugf t ~time fmt = Format.kasprintf (record t ~time ~level:Debug) fmt
+
+let infof t ~time fmt = Format.kasprintf (record t ~time ~level:Info) fmt
+
+let warnf t ~time fmt = Format.kasprintf (record t ~time ~level:Warn) fmt
+
+let entries t = List.rev t.entries
+
+let length t = t.count
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.4f %-5s] %s" e.time (level_name e.level) e.message
+
+let dump ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,37 @@
+(** Bounded in-memory trace of simulation events, timestamped in virtual
+    time. Cheap enough to leave on in big runs; tests assert on its
+    contents. *)
+
+type level = Debug | Info | Warn
+
+type entry = { time : float; level : level; message : string }
+
+type t
+
+val create : ?capacity:int -> ?min_level:level -> unit -> t
+(** Trace buffer holding at most [capacity] entries (older entries are
+    discarded). @raise Invalid_argument if [capacity < 1]. *)
+
+val set_min_level : t -> level -> unit
+(** Entries below this level are ignored. *)
+
+val record : t -> time:float -> level:level -> string -> unit
+(** Append one entry. *)
+
+val debugf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!Debug} entry. *)
+
+val infof : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!Info} entry. *)
+
+val warnf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!Warn} entry. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+(** Number of retained entries. *)
+
+val dump : Format.formatter -> t -> unit
+(** Print all retained entries, one per line. *)

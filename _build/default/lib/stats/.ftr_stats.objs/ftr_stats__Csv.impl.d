@@ -1,0 +1,1 @@
+lib/stats/csv.ml: Buffer List Out_channel Printf String

@@ -1,0 +1,89 @@
+(* Minimal terminal scatter/line plots for the benchmark harness: enough to
+   see the Figure 5/6/7 shapes without leaving the terminal. *)
+
+type series = { glyph : char; label : string; points : (float * float) list }
+
+let series ~glyph ~label points = { glyph; label; points }
+
+let finite v = Float.is_finite v
+
+let transform ~log v = if log then log10 v else v
+
+let valid_point ~x_log ~y_log (x, y) =
+  finite x && finite y && ((not x_log) || x > 0.0) && ((not y_log) || y > 0.0)
+
+let render ?(width = 64) ?(height = 20) ?(x_log = false) ?(y_log = false) ?(x_label = "x")
+    ?(y_label = "y") series_list =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: canvas too small";
+  let points =
+    List.concat_map
+      (fun s -> List.filter (valid_point ~x_log ~y_log) s.points)
+      series_list
+  in
+  if points = [] then "(no plottable points)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> transform ~log:x_log x) points in
+    let ys = List.map (fun (_, y) -> transform ~log:y_log y) points in
+    let min_l = List.fold_left Float.min infinity in
+    let max_l = List.fold_left Float.max neg_infinity in
+    let x_min = min_l xs and x_max = max_l xs in
+    let y_min = min_l ys and y_max = max_l ys in
+    let x_span = if x_max -. x_min <= 0.0 then 1.0 else x_max -. x_min in
+    let y_span = if y_max -. y_min <= 0.0 then 1.0 else y_max -. y_min in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot s =
+      List.iter
+        (fun p ->
+          if valid_point ~x_log ~y_log p then begin
+            let x, y = p in
+            let cx =
+              int_of_float
+                (Float.round
+                   ((transform ~log:x_log x -. x_min) /. x_span *. float_of_int (width - 1)))
+            in
+            let cy =
+              int_of_float
+                (Float.round
+                   ((transform ~log:y_log y -. y_min) /. y_span *. float_of_int (height - 1)))
+            in
+            (* Row 0 is the top of the canvas. *)
+            canvas.(height - 1 - cy).(cx) <- s.glyph
+          end)
+        s.points
+    in
+    List.iter plot series_list;
+    let buffer = Buffer.create ((width + 12) * (height + 4)) in
+    let axis_value ~log v = if log then Float.pow 10.0 v else v in
+    Buffer.add_string buffer
+      (Printf.sprintf "%s%s vs %s%s\n"
+         (if y_log then "log " else "")
+         y_label
+         (if x_log then "log " else "")
+         x_label);
+    Array.iteri
+      (fun row line ->
+        let y_here =
+          y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+        in
+        let label =
+          if row = 0 || row = height - 1 then Printf.sprintf "%10.3g" (axis_value ~log:y_log y_here)
+          else String.make 10 ' '
+        in
+        Buffer.add_string buffer label;
+        Buffer.add_string buffer " |";
+        Buffer.add_string buffer (String.init width (fun i -> line.(i)));
+        Buffer.add_char buffer '\n')
+      canvas;
+    Buffer.add_string buffer (String.make 11 ' ');
+    Buffer.add_char buffer '+';
+    Buffer.add_string buffer (String.make width '-');
+    Buffer.add_char buffer '\n';
+    Buffer.add_string buffer
+      (Printf.sprintf "%s %.3g .. %.3g   " x_label (axis_value ~log:x_log x_min)
+         (axis_value ~log:x_log x_max));
+    List.iter
+      (fun s -> Buffer.add_string buffer (Printf.sprintf "[%c] %s  " s.glyph s.label))
+      series_list;
+    Buffer.add_char buffer '\n';
+    Buffer.contents buffer
+  end

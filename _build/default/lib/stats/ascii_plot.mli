@@ -1,0 +1,20 @@
+(** Plain-text scatter plots, so the benchmark harness can show the shape
+    of each reproduced figure directly in the terminal. *)
+
+type series
+
+val series : glyph:char -> label:string -> (float * float) list -> series
+(** A named point set drawn with one glyph. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_log:bool ->
+  ?y_log:bool ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render all series onto one canvas with min/max axis annotations and a
+    legend. Log axes drop non-positive coordinates; non-finite points are
+    ignored. @raise Invalid_argument if the canvas is under 8x4. *)

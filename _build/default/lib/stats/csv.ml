@@ -1,0 +1,44 @@
+(* Minimal RFC-4180 CSV writing, so every benchmark table can be exported
+   for external plotting and regression-diffing of experiment outputs. *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape_field s =
+  if needs_quoting s then begin
+    let buffer = Buffer.create (String.length s + 8) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+  else s
+
+let row_to_string fields = String.concat "," (List.map escape_field fields)
+
+let add_row buffer fields =
+  Buffer.add_string buffer (row_to_string fields);
+  Buffer.add_char buffer '\n'
+
+let to_string ~header ~rows =
+  let width = List.length header in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg (Printf.sprintf "Csv.to_string: row %d has %d fields, header has %d" i
+                       (List.length row) width))
+    rows;
+  let buffer = Buffer.create 1024 in
+  add_row buffer header;
+  List.iter (add_row buffer) rows;
+  Buffer.contents buffer
+
+let write_file ~path ~header ~rows =
+  Out_channel.with_open_text path (fun oc -> output_string oc (to_string ~header ~rows))
+
+let float_field v = Printf.sprintf "%.6g" v
+
+let int_field = string_of_int

@@ -1,0 +1,21 @@
+(** RFC-4180 CSV output for experiment tables. *)
+
+val escape_field : string -> string
+(** Quote a field if it contains commas, quotes or newlines; double the
+    embedded quotes. *)
+
+val row_to_string : string list -> string
+(** One CSV line, without the trailing newline. *)
+
+val to_string : header:string list -> rows:string list list -> string
+(** The whole document, header first.
+    @raise Invalid_argument if any row's width differs from the header's. *)
+
+val write_file : path:string -> header:string list -> rows:string list list -> unit
+(** Write the document to a file. *)
+
+val float_field : float -> string
+(** Compact float rendering ([%.6g]). *)
+
+val int_field : int -> string
+(** Integer rendering. *)

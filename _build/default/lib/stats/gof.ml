@@ -1,0 +1,76 @@
+(* Goodness-of-fit distances between an empirical distribution and a model,
+   used to check that generated links follow the intended 1/d law. *)
+
+let total_variation ~empirical ~model =
+  let n = Array.length empirical in
+  if n <> Array.length model then invalid_arg "Gof.total_variation: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. abs_float (empirical.(i) -. model.(i))
+  done;
+  0.5 *. !acc
+
+let max_abs_error ~empirical ~model =
+  let n = Array.length empirical in
+  if n <> Array.length model then invalid_arg "Gof.max_abs_error: length mismatch";
+  let best = ref 0.0 and best_i = ref 0 in
+  for i = 0 to n - 1 do
+    let e = abs_float (empirical.(i) -. model.(i)) in
+    if e > !best then begin
+      best := e;
+      best_i := i
+    end
+  done;
+  (!best, !best_i)
+
+let ks_statistic ~empirical ~model =
+  (* Maximum gap between the two CDFs built from the pmfs. *)
+  let n = Array.length empirical in
+  if n <> Array.length model then invalid_arg "Gof.ks_statistic: length mismatch";
+  let ce = ref 0.0 and cm = ref 0.0 and best = ref 0.0 in
+  for i = 0 to n - 1 do
+    ce := !ce +. empirical.(i);
+    cm := !cm +. model.(i);
+    let gap = abs_float (!ce -. !cm) in
+    if gap > !best then best := gap
+  done;
+  !best
+
+let chi_square ~observed ~expected =
+  let n = Array.length observed in
+  if n <> Array.length expected then invalid_arg "Gof.chi_square: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if expected.(i) > 0.0 then begin
+      let d = float_of_int observed.(i) -. expected.(i) in
+      acc := !acc +. (d *. d /. expected.(i))
+    end
+    else if observed.(i) > 0 then
+      invalid_arg "Gof.chi_square: observation in a zero-expectation cell"
+  done;
+  !acc
+
+let ks_two_sample xs ys =
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 || nb = 0 then invalid_arg "Gof.ks_two_sample: empty sample";
+  let best = ref 0.0 in
+  let i = ref 0 and j = ref 0 in
+  (* Advance both pointers past ties together so equal samples contribute
+     a zero gap. *)
+  while !i < na && !j < nb do
+    let v = Float.min a.(!i) b.(!j) in
+    while !i < na && a.(!i) = v do
+      incr i
+    done;
+    while !j < nb && b.(!j) = v do
+      incr j
+    done;
+    let fa = float_of_int !i /. float_of_int na in
+    let fb = float_of_int !j /. float_of_int nb in
+    let gap = abs_float (fa -. fb) in
+    if gap > !best then best := gap
+  done;
+  !best

@@ -1,0 +1,31 @@
+let number n =
+  if n < 0 then invalid_arg "Harmonic.number: n must be non-negative";
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. float_of_int k)
+  done;
+  !acc
+
+let euler_mascheroni = 0.57721566490153286
+
+let approx n =
+  if n <= 0 then invalid_arg "Harmonic.approx: n must be positive";
+  let x = float_of_int n in
+  (* H_n = ln n + gamma + 1/(2n) - 1/(12 n^2) + O(n^-4) *)
+  log x +. euler_mascheroni +. (1.0 /. (2.0 *. x)) -. (1.0 /. (12.0 *. x *. x))
+
+let table n =
+  if n < 0 then invalid_arg "Harmonic.table: n must be non-negative";
+  let t = Array.make (n + 1) 0.0 in
+  for k = 1 to n do
+    t.(k) <- t.(k - 1) +. (1.0 /. float_of_int k)
+  done;
+  t
+
+let generalized ~exponent n =
+  if n < 0 then invalid_arg "Harmonic.generalized: n must be non-negative";
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int k) exponent)
+  done;
+  !acc

@@ -1,0 +1,75 @@
+type t = {
+  edges : float array; (* bin i covers [edges.(i), edges.(i+1)) *)
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~edges =
+  let n = Array.length edges in
+  if n < 2 then invalid_arg "Histogram.create: need at least two edges";
+  for i = 0 to n - 2 do
+    if edges.(i) >= edges.(i + 1) then
+      invalid_arg "Histogram.create: edges must be strictly increasing"
+  done;
+  { edges; counts = Array.make (n - 1) 0; underflow = 0; overflow = 0; total = 0 }
+
+let uniform ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.uniform: bins must be >= 1";
+  if lo >= hi then invalid_arg "Histogram.uniform: lo must be < hi";
+  let width = (hi -. lo) /. float_of_int bins in
+  create ~edges:(Array.init (bins + 1) (fun i -> lo +. (width *. float_of_int i)))
+
+let log2_bins ~max_value =
+  (* Edges 1, 2, 4, 8, ..., covering [1, max_value]. Natural binning for
+     link lengths under a 1/d law: each bin then carries equal mass. *)
+  if max_value < 1.0 then invalid_arg "Histogram.log2_bins: max_value must be >= 1";
+  let rec count_edges acc v = if v > max_value then acc + 1 else count_edges (acc + 1) (v *. 2.0) in
+  let n = count_edges 0 1.0 in
+  create ~edges:(Array.init n (fun i -> Float.pow 2.0 (float_of_int i)))
+
+let bin_index t x =
+  let n = Array.length t.edges in
+  if x < t.edges.(0) then -1
+  else if x >= t.edges.(n - 1) then n - 1
+  else begin
+    let rec search lo hi =
+      (* invariant: edges.(lo) <= x < edges.(hi) *)
+      if hi - lo = 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if x < t.edges.(mid) then search lo mid else search mid hi
+    in
+    search 0 (n - 1)
+  end
+
+let add t x =
+  t.total <- t.total + 1;
+  let i = bin_index t x in
+  if i < 0 then t.underflow <- t.underflow + 1
+  else if i >= Array.length t.counts then t.overflow <- t.overflow + 1
+  else t.counts.(i) <- t.counts.(i) + 1
+
+let add_int t x = add t (float_of_int x)
+
+let count t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.count: bad bin";
+  t.counts.(i)
+
+let bins t = Array.length t.counts
+
+let total t = t.total
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bin_range t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_range: bad bin";
+  (t.edges.(i), t.edges.(i + 1))
+
+let frequency t i =
+  if t.total = 0 then 0.0 else float_of_int (count t i) /. float_of_int t.total
+
+let to_list t = List.init (bins t) (fun i -> (bin_range t i, t.counts.(i)))

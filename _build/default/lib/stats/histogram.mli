@@ -1,0 +1,50 @@
+(** Fixed-edge histograms with under/overflow tracking.
+
+    The Figure 5 reproduction bins observed link lengths (log2 bins, the
+    natural scale for a 1/d law) and compares the empirical frequencies with
+    the ideal inverse power-law distribution. *)
+
+type t
+(** Mutable histogram. *)
+
+val create : edges:float array -> t
+(** Bins are the half-open intervals between consecutive edges.
+    @raise Invalid_argument unless edges are strictly increasing and at
+    least two. *)
+
+val uniform : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins covering [lo, hi). *)
+
+val log2_bins : max_value:float -> t
+(** Edges 1, 2, 4, ... covering [1, max_value]. *)
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val add_int : t -> int -> unit
+(** Record one integer observation. *)
+
+val bins : t -> int
+(** Number of bins. *)
+
+val count : t -> int -> int
+(** Raw count in bin [i]. @raise Invalid_argument on a bad index. *)
+
+val frequency : t -> int -> float
+(** Count in bin [i] divided by the total number of observations
+    (including under/overflow). *)
+
+val bin_range : t -> int -> float * float
+(** Bounds [lo, hi) of bin [i]. *)
+
+val total : t -> int
+(** Total observations, including under/overflow. *)
+
+val underflow : t -> int
+(** Observations below the first edge. *)
+
+val overflow : t -> int
+(** Observations at or above the last edge. *)
+
+val to_list : t -> ((float * float) * int) list
+(** All (range, count) pairs in order. *)

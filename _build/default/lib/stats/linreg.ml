@@ -1,0 +1,32 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let fit ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Linreg.fit: length mismatch";
+  if n < 2 then invalid_arg "Linreg.fit: need at least two points";
+  let nf = float_of_int n in
+  let sum_x = Array.fold_left ( +. ) 0.0 xs in
+  let sum_y = Array.fold_left ( +. ) 0.0 ys in
+  let mean_x = sum_x /. nf and mean_y = sum_y /. nf in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mean_x and dy = ys.(i) -. mean_y in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Linreg.fit: xs are constant";
+  let slope = !sxy /. !sxx in
+  let intercept = mean_y -. (slope *. mean_x) in
+  let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+let predict f x = f.intercept +. (f.slope *. x)
+
+let loglog_fit ~xs ~ys =
+  let check a =
+    Array.iter (fun v -> if v <= 0.0 then invalid_arg "Linreg.loglog_fit: non-positive value") a
+  in
+  check xs;
+  check ys;
+  fit ~xs:(Array.map log xs) ~ys:(Array.map log ys)

@@ -1,0 +1,19 @@
+(** Ordinary least-squares line fitting.
+
+    Scaling experiments fit measured delivery times against the predicted
+    bound (e.g. hops vs H_n² for Theorem 12) and report the slope and R²;
+    log-log fits estimate empirical exponents. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val fit : xs:float array -> ys:float array -> fit
+(** Least-squares fit of [y = intercept + slope * x].
+    @raise Invalid_argument on mismatched lengths, fewer than two points,
+    or constant [xs]. *)
+
+val predict : fit -> float -> float
+(** Evaluate the fitted line. *)
+
+val loglog_fit : xs:float array -> ys:float array -> fit
+(** Fit in log-log space; the slope is the empirical power-law exponent.
+    @raise Invalid_argument if any value is non-positive. *)

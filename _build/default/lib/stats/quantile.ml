@@ -1,0 +1,34 @@
+let of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Quantile.of_sorted: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile.of_sorted: q must be in [0,1]";
+  if n = 1 then sorted.(0)
+  else begin
+    (* Linear interpolation between order statistics (type-7 estimator). *)
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let compute xs q =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  of_sorted sorted q
+
+let median xs = compute xs 0.5
+
+let iqr xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  of_sorted sorted 0.75 -. of_sorted sorted 0.25
+
+let five_number xs =
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  ( of_sorted sorted 0.0,
+    of_sorted sorted 0.25,
+    of_sorted sorted 0.5,
+    of_sorted sorted 0.75,
+    of_sorted sorted 1.0 )

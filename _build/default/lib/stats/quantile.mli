@@ -1,0 +1,18 @@
+(** Quantile estimation (type-7, the R default): linear interpolation
+    between order statistics. *)
+
+val of_sorted : float array -> float -> float
+(** [of_sorted sorted q] with [sorted] in ascending order.
+    @raise Invalid_argument on an empty array or [q] outside [0,1]. *)
+
+val compute : float array -> float -> float
+(** As {!of_sorted} but sorts a copy first. *)
+
+val median : float array -> float
+(** The 0.5 quantile. *)
+
+val iqr : float array -> float
+(** Interquartile range (Q3 - Q1). *)
+
+val five_number : float array -> float * float * float * float * float
+(** (min, Q1, median, Q3, max). *)

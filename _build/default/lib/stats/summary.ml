@@ -1,0 +1,65 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { count = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+
+(* Welford's online update: numerically stable single pass. *)
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let add_int t x = add t (float_of_int x)
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.count
+
+let mean t = if t.count = 0 then nan else t.mean
+
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let sem t = if t.count < 2 then nan else stddev t /. sqrt (float_of_int t.count)
+
+let ci95_halfwidth t =
+  if t.count < 2 then nan else Tdist.critical95 ~df:(t.count - 1) *. sem t
+
+let min_value t = if t.count = 0 then nan else t.min_v
+
+let max_value t = if t.count = 0 then nan else t.max_v
+
+let total t = t.mean *. float_of_int t.count
+
+let merge a b =
+  (* Chan et al. parallel-merge formulas. *)
+  if a.count = 0 then { count = b.count; mean = b.mean; m2 = b.m2; min_v = b.min_v; max_v = b.max_v }
+  else if b.count = 0 then { count = a.count; mean = a.mean; m2 = a.m2; min_v = a.min_v; max_v = a.max_v }
+  else begin
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let delta = b.mean -. a.mean in
+    let n = na +. nb in
+    {
+      count = a.count + b.count;
+      mean = a.mean +. (delta *. nb /. n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.2f max=%.2f" t.count (mean t) (stddev t)
+    (min_value t) (max_value t)

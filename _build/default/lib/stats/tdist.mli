@@ -1,0 +1,5 @@
+(** Student-t critical values for small-sample confidence intervals. *)
+
+val critical95 : df:int -> float
+(** Two-sided 95% critical value [t_{0.975, df}] (tabulated for df ≤ 30,
+    stepped toward 1.96 beyond). @raise Invalid_argument if [df < 1]. *)

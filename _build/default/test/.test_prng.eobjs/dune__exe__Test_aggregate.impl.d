@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Alcotest Array Float Ftr_core Ftr_prng Ftr_stats List Printf QCheck QCheck_alcotest

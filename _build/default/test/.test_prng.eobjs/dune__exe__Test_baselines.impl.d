@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ftr_baselines Ftr_core Ftr_graph Ftr_metric Ftr_prng Ftr_stats List Printf QCheck QCheck_alcotest

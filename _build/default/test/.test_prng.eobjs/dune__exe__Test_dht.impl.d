@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Ftr_core Ftr_dht Ftr_graph Ftr_p2p Ftr_prng Ftr_sim Ftr_stats Gen Hashtbl Int64 List Printf QCheck QCheck_alcotest

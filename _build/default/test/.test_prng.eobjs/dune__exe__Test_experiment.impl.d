@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Ftr_core Ftr_prng List Printf

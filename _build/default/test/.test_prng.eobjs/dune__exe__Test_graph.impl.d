@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Ftr_graph Gen List Printf QCheck QCheck_alcotest

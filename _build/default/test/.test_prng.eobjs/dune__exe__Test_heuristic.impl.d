@@ -1,0 +1,1 @@
+test/test_heuristic.ml: Alcotest Array Ftr_core Ftr_graph Ftr_prng Ftr_stats List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Ftr_metric List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_multidim.ml: Alcotest Array Ftr_core Ftr_graph Ftr_metric Ftr_prng List Printf

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Filename Ftr_core Ftr_graph Ftr_prng Ftr_stats Fun List Printf QCheck QCheck_alcotest Sys

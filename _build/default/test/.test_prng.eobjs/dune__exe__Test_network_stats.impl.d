@@ -1,0 +1,1 @@
+test/test_network_stats.ml: Alcotest Array Ftr_core Ftr_prng Ftr_stats Printf

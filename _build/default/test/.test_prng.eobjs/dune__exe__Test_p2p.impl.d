@@ -1,0 +1,1 @@
+test/test_p2p.ml: Alcotest Array Ftr_p2p Ftr_prng Ftr_sim Gen List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Ftr_prng Ftr_stats Gen Hashtbl List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Ftr_core Ftr_graph Ftr_prng Gen List Printf QCheck QCheck_alcotest

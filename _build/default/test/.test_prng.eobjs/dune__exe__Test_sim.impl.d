@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Format Ftr_prng Ftr_sim Ftr_stats Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Filename Float Format Ftr_stats Fun Gen In_channel List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Ftr_core Ftr_stats List

@@ -1,0 +1,286 @@
+module Ac = Ftr_core.Aggregate_chain
+module Summary = Ftr_stats.Summary
+module Rng = Ftr_prng.Rng
+
+let rng () = Rng.of_int 314159
+
+(* ------------------------------------------------------------------ *)
+(* Distribution construction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sample_contains_one () =
+  let dist = Ac.harmonic ~links:4 ~max_offset:256 in
+  let r = rng () in
+  for _ = 1 to 500 do
+    let d = Ac.sample_positive dist r in
+    Alcotest.(check bool) "contains 1" true (Array.mem 1 d);
+    Array.iteri (fun i v -> if i > 0 then Alcotest.(check bool) "ascending" true (v > d.(i - 1)))
+      d
+  done
+
+let mean_size_matches_samples () =
+  let dist = Ac.harmonic ~links:4 ~max_offset:256 in
+  let r = rng () in
+  let s = Summary.create () in
+  for _ = 1 to 20_000 do
+    (* sample_positive returns one side; |∆| counts both. *)
+    Summary.add_int s (2 * Array.length (Ac.sample_positive dist r))
+  done;
+  let expected = Ac.mean_size dist in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled %.2f vs expected %.2f" (Summary.mean s) expected)
+    true
+    (abs_float (Summary.mean s -. expected) < 0.2)
+
+let harmonic_mean_size_tracks_links () =
+  (* About `links` long offsets per side, plus the mandatory ±1. *)
+  let dist = Ac.harmonic ~links:6 ~max_offset:1024 in
+  let m = Ac.mean_size dist in
+  Alcotest.(check bool) (Printf.sprintf "mean size %.2f" m) true (m > 10.0 && m < 16.0)
+
+(* ------------------------------------------------------------------ *)
+(* Chain dynamics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let single_point_absorbs () =
+  let dist = Ac.harmonic ~links:3 ~max_offset:1023 in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let steps = Ac.simulate_single_point dist r ~start:1023 in
+    Alcotest.(check bool) "positive and finite" true (steps > 0 && steps <= 1023)
+  done;
+  Alcotest.(check int) "start 0 needs no steps" 0 (Ac.simulate_single_point dist r ~start:0)
+
+let aggregate_absorbs () =
+  let dist = Ac.harmonic ~links:3 ~max_offset:1023 in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let steps = Ac.simulate_aggregate dist r ~start:1023 in
+    Alcotest.(check bool) "positive and finite" true (steps > 0 && steps <= 1023)
+  done
+
+(* Lemma 4: the aggregate chain and the uniform-start single-point chain
+   have the same absorption-time distribution; compare the means. *)
+let lemma4_means_agree () =
+  let n = 512 in
+  let dist = Ac.harmonic ~links:3 ~max_offset:n in
+  let r = rng () in
+  let single = Summary.create () in
+  for _ = 1 to 3000 do
+    Summary.add_int single (Ac.simulate_single_point dist r ~start:(1 + Rng.int r n))
+  done;
+  let aggregate = Ac.mean_aggregate dist r ~start:n ~trials:3000 in
+  let ms = Summary.mean single and ma = Summary.mean aggregate in
+  Alcotest.(check bool)
+    (Printf.sprintf "single %.2f vs aggregate %.2f" ms ma)
+    true
+    (abs_float (ms -. ma) < 0.15 *. ms)
+
+(* Lemma 4, distribution-level: the two absorption-time samples should be
+   indistinguishable under a two-sample KS test, not just equal in mean. *)
+let lemma4_distributions_agree () =
+  let n = 512 in
+  let dist = Ac.harmonic ~links:3 ~max_offset:n in
+  let r = rng () in
+  let trials = 3000 in
+  let single =
+    Array.init trials (fun _ ->
+        float_of_int (Ac.simulate_single_point dist r ~start:(1 + Rng.int r n)))
+  in
+  let aggregate =
+    Array.init trials (fun _ -> float_of_int (Ac.simulate_aggregate dist r ~start:n))
+  in
+  let ks = Ftr_stats.Gof.ks_two_sample single aggregate in
+  (* 5% critical value for n = m = 3000 is ~0.035; allow slack. *)
+  Alcotest.(check bool) (Printf.sprintf "KS %.4f small" ks) true (ks < 0.06)
+
+(* Lemma 6: Pr[|S'| <= |S|/a] <= 3 l / a. *)
+let lemma6_bound_holds () =
+  let links = 3 in
+  let dist = Ac.harmonic ~links ~max_offset:4096 in
+  let r = rng () in
+  let ell = Ac.mean_size dist in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun k ->
+          let p = Ac.lemma6_drop_probability dist r ~k ~a ~trials:4000 in
+          let bound = 3.0 *. ell /. a in
+          (* Allow 3-sigma sampling slack on top of the proven bound. *)
+          let slack = 3.0 *. sqrt (p *. (1.0 -. p) /. 4000.0) +. 0.01 in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d a=%.0f: %.4f <= %.4f" k a p bound)
+            true (p <= bound +. slack))
+        [ 64; 512; 4096 ])
+    [ 8.0; 32.0; 128.0 ]
+
+(* The simulated one-sided time respects the Theorem 10 lower bound. *)
+let lower_bound_respected () =
+  let n = 8192 and links = 3 in
+  let dist = Ac.harmonic ~links ~max_offset:(n - 1) in
+  let r = rng () in
+  let s = Summary.create () in
+  for _ = 1 to 500 do
+    Summary.add_int s (Ac.simulate_single_point dist r ~start:(1 + Rng.int r n))
+  done;
+  let measured = Summary.mean s in
+  let ell = int_of_float (Float.ceil (Ac.mean_size dist)) in
+  let bound = Ftr_core.Theory.lower_one_sided ~links:ell n in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.2f >= bound %.2f" measured bound)
+    true (measured >= bound)
+
+(* More offsets means faster absorption. *)
+let more_links_faster () =
+  let n = 4096 in
+  let r = rng () in
+  let mean links =
+    let dist = Ac.harmonic ~links ~max_offset:n in
+    Summary.mean (Ac.mean_single_point dist r ~start:n ~trials:500)
+  in
+  let slow = mean 1 and fast = mean 8 in
+  Alcotest.(check bool) (Printf.sprintf "l=8 (%.1f) < l=1 (%.1f)" fast slow) true (fast < slow)
+
+(* The harmonic distribution beats a uniform distribution of the same
+   expected size — the heart of the paper's point about link choices. *)
+let harmonic_beats_uniform () =
+  let n = 8192 and links = 4 in
+  let r = rng () in
+  let harmonic = Ac.harmonic ~links ~max_offset:n in
+  let uniform = Ac.uniform ~links ~max_offset:n in
+  let mean dist = Summary.mean (Ac.mean_single_point dist r ~start:n ~trials:400) in
+  let h = mean harmonic and u = mean uniform in
+  Alcotest.(check bool) (Printf.sprintf "harmonic %.1f < uniform %.1f" h u) true (h < u)
+
+(* Two-sided routing at least as fast as one-sided, and still above its
+   (weaker) Theorem 10 bound. *)
+let two_sided_faster_but_bounded () =
+  let n = 4096 and links = 3 in
+  let dist = Ac.harmonic ~links ~max_offset:n in
+  let r = rng () in
+  let one = Summary.create () and two = Summary.create () in
+  for _ = 1 to 400 do
+    let start = 1 + Rng.int r n in
+    Summary.add_int one (Ac.simulate_single_point dist r ~start);
+    Summary.add_int two (Ac.simulate_two_sided dist r ~start)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "two-sided %.1f <= one-sided %.1f" (Summary.mean two) (Summary.mean one))
+    true
+    (Summary.mean two <= Summary.mean one);
+  let ell = int_of_float (Float.ceil (Ac.mean_size dist)) in
+  let bound = Ftr_core.Theory.lower_two_sided ~links:ell n in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-sided %.1f >= bound %.2f" (Summary.mean two) bound)
+    true
+    (Summary.mean two >= bound)
+
+let two_sided_absorbs () =
+  let dist = Ac.harmonic ~links:2 ~max_offset:511 in
+  let r = rng () in
+  for _ = 1 to 50 do
+    let steps = Ac.simulate_two_sided dist r ~start:511 in
+    Alcotest.(check bool) "positive and finite" true (steps > 0 && steps <= 511)
+  done;
+  Alcotest.(check int) "start 0 needs no steps" 0 (Ac.simulate_two_sided dist r ~start:0)
+
+let sample_full_has_both_units () =
+  let dist = Ac.harmonic ~links:3 ~max_offset:128 in
+  let r = rng () in
+  for _ = 1 to 200 do
+    let d = Ac.sample_full dist r in
+    Alcotest.(check bool) "has +1" true (Array.mem 1 d);
+    Alcotest.(check bool) "has -1" true (Array.mem (-1) d);
+    Array.iteri
+      (fun i v -> if i > 0 then Alcotest.(check bool) "sorted" true (v > d.(i - 1)))
+      d
+  done
+
+(* The O(log n) inverse-transform samplers must agree with the literal
+   Bernoulli-per-offset model. Compare the fast simulation against a slow
+   reference built from sample_positive. *)
+let fast_sampler_matches_bernoulli_reference () =
+  let n = 512 and links = 3 in
+  let dist = Ac.harmonic ~links ~max_offset:n in
+  let r = rng () in
+  let slow_step x =
+    let delta = Ac.sample_positive dist r in
+    let best = ref 1 in
+    Array.iter (fun d -> if d <= x && d > !best then best := d) delta;
+    x - !best
+  in
+  let slow_simulate start =
+    let steps = ref 0 and x = ref start in
+    while !x > 0 do
+      x := slow_step !x;
+      incr steps
+    done;
+    !steps
+  in
+  let slow = Summary.create () and fast = Summary.create () in
+  for _ = 1 to 2000 do
+    let start = 1 + Rng.int r n in
+    Summary.add_int slow (slow_simulate start);
+    Summary.add_int fast (Ac.simulate_single_point dist r ~start)
+  done;
+  let ms = Summary.mean slow and mf = Summary.mean fast in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow %.2f vs fast %.2f" ms mf)
+    true
+    (abs_float (ms -. mf) < 0.1 *. ms)
+
+let make_rejects () =
+  Alcotest.check_raises "bad max_offset"
+    (Invalid_argument "Aggregate_chain.make: max_offset must be >= 1") (fun () ->
+      ignore (Ac.make ~max_offset:0 ~p:(fun _ -> 0.5)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_single_point_bounded =
+  QCheck.Test.make ~name:"single-point steps bounded by start" ~count:100
+    QCheck.(pair (int_range 1 512) small_int)
+    (fun (start, seed) ->
+      let dist = Ac.harmonic ~links:2 ~max_offset:512 in
+      let steps = Ac.simulate_single_point dist (Rng.of_int seed) ~start in
+      steps >= 1 && steps <= start)
+
+let prop_aggregate_bounded =
+  QCheck.Test.make ~name:"aggregate steps bounded by start" ~count:100
+    QCheck.(pair (int_range 1 512) small_int)
+    (fun (start, seed) ->
+      let dist = Ac.harmonic ~links:2 ~max_offset:512 in
+      let steps = Ac.simulate_aggregate dist (Rng.of_int seed) ~start in
+      steps >= 1 && steps <= start)
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "aggregate_chain"
+    [
+      ( "distribution",
+        [
+          quick "samples contain 1 and sorted" sample_contains_one;
+          quick "mean size matches samples" mean_size_matches_samples;
+          quick "harmonic mean size tracks links" harmonic_mean_size_tracks_links;
+          quick "make rejects bad input" make_rejects;
+        ] );
+      ( "dynamics",
+        [
+          quick "single point absorbs" single_point_absorbs;
+          quick "aggregate absorbs" aggregate_absorbs;
+          quick "Lemma 4: chains agree" lemma4_means_agree;
+          quick "Lemma 4: whole distributions agree (KS)" lemma4_distributions_agree;
+          quick "Lemma 6: drop probability bounded" lemma6_bound_holds;
+          quick "Theorem 10 lower bound respected" lower_bound_respected;
+          quick "more links faster" more_links_faster;
+          quick "harmonic beats uniform" harmonic_beats_uniform;
+          quick "two-sided faster but bounded" two_sided_faster_but_bounded;
+          quick "two-sided absorbs" two_sided_absorbs;
+          quick "full samples contain both units" sample_full_has_both_units;
+          quick "fast sampler matches bernoulli reference" fast_sampler_matches_bernoulli_reference;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_single_point_bounded; prop_aggregate_bounded ]
+      );
+    ]
