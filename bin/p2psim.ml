@@ -361,6 +361,137 @@ let churn_cmd =
     (Cmd.info "churn" ~doc:"Run the dynamic protocol under churn and report")
     Term.(const run $ n_t 1024 $ links_t $ seed_t $ duration_t $ initial_t)
 
+(* check *)
+
+let check_cmd =
+  let run n links seed verbose =
+    (* The battery exercises every builder; the smallest ones (ring,
+       deterministic) need a handful of nodes, so demand a sane floor
+       instead of surfacing a raw Invalid_argument. *)
+    if n < 16 then begin
+      Printf.eprintf "p2psim check: --nodes must be at least 16 (got %d)\n" n;
+      exit 2
+    end;
+    let links = resolve_links n links in
+    (match links with
+    | l when l < 0 ->
+        Printf.eprintf "p2psim check: --links must be non-negative (got %d)\n" l;
+        exit 2
+    | _ -> ());
+    let rng = Rng.of_int seed in
+    let module Check = Ftr_check.Check in
+    let total = ref 0 and sections = ref 0 in
+    let report label vs =
+      incr sections;
+      total := !total + List.length vs;
+      if vs <> [] || verbose then Format.printf "%a" (Check.pp_report ~label) vs
+    in
+    (* Static builders: structure, then goodness of fit to the 1/d law. *)
+    let ideal = Network.build_ideal ~n ~links rng in
+    report "ideal: structure" (Check.network ~expected_links:links ideal);
+    if links > 0 then report "ideal: 1/d law" (Check.network_gof ideal);
+    let ring = Network.build_ring ~n ~links rng in
+    report "ring: structure" (Check.network ring);
+    if links > 0 then report "ring: 1/d law" (Check.network_gof ring);
+    let binom = Network.build_binomial ~n ~links ~present_p:0.7 rng in
+    report "binomial: structure" (Check.network binom);
+    let det = Network.build_deterministic ~n ~base:2 in
+    report "deterministic: structure" (Check.network ~multi_edges:`Forbidden det);
+    let geo = Network.build_geometric ~n ~base:2 in
+    report "geometric: structure" (Check.network ~multi_edges:`Forbidden geo);
+    let chord = Network.build_chordlike ~n () in
+    report "chordlike: structure"
+      (Check.network ~multi_edges:`Forbidden ~ring:Check.Successor_only chord);
+    (* The arrival heuristic needs at least one long link per node. *)
+    if links > 0 then begin
+      let heur = Ftr_core.Heuristic.build ~n ~links rng in
+      report "heuristic: structure" (Check.network heur);
+      (* The arrival process only approximates the law (Figure 5 shows the
+         residual bias), so the heuristic gets looser thresholds. *)
+      report "heuristic: 1/d law"
+        (Check.network_gof ~ks_threshold:0.1 ~chi2_per_dof:25.0 heur)
+    end;
+    (* Route traces over every strategy, healthy and under failures. *)
+    let trace_battery label ?failures ~side ~strategy net =
+      let vs = ref [] in
+      let alive v =
+        match failures with None -> true | Some f -> Ftr_core.Failure.node_alive f v
+      in
+      let size = Network.size net in
+      let tried = ref 0 in
+      while !tried < 40 do
+        let src = Rng.int rng size and dst = Rng.int rng size in
+        if src <> dst && alive src && alive dst then begin
+          incr tried;
+          let _, v = Check.route_and_check ?failures ~side ~strategy ~rng net ~src ~dst in
+          vs := !vs @ v
+        end
+      done;
+      report label !vs
+    in
+    trace_battery "trace: two-sided greedy" ~side:Route.Two_sided ~strategy:Route.Terminate
+      ideal;
+    trace_battery "trace: one-sided greedy" ~side:Route.One_sided ~strategy:Route.Terminate
+      ideal;
+    trace_battery "trace: one-sided on the circle" ~side:Route.One_sided
+      ~strategy:Route.Terminate ring;
+    let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction:0.2 in
+    let failures = Ftr_core.Failure.of_node_mask mask in
+    trace_battery "trace: reroute under failures" ~failures ~side:Route.Two_sided
+      ~strategy:(Route.Random_reroute { attempts = 3 })
+      ideal;
+    trace_battery "trace: backtrack under failures" ~failures ~side:Route.Two_sided
+      ~strategy:(Route.Backtrack { history = 5 })
+      ideal;
+    (* Heap on its own, then the engine mid-run and the overlay at
+       quiescence (populate + joins + lookups, run to empty). *)
+    let h = Ftr_sim.Heap.create ~compare:(fun (a : int) b -> compare a b) in
+    for _ = 1 to 512 do
+      Ftr_sim.Heap.push h (Rng.int rng 10_000)
+    done;
+    for _ = 1 to 256 do
+      ignore (Ftr_sim.Heap.pop h)
+    done;
+    report "heap: push/pop order" (Check.heap h);
+    let engine = Ftr_sim.Engine.create () in
+    (* The dynamic protocol keeps at least one long link per node. *)
+    let ov = Ftr_p2p.Overlay.create ~line_size:n ~links:(max 1 links) ~rng engine in
+    let m = min 256 (n / 2) in
+    let stride = n / m in
+    Ftr_p2p.Overlay.populate ov ~positions:(List.init m (fun i -> i * stride));
+    for i = 0 to (m / 4) - 1 do
+      let pos = (i * stride) + (stride / 2) + 1 in
+      if pos < n && not (Ftr_p2p.Overlay.is_alive ov pos) then
+        Ftr_p2p.Overlay.join ov ~pos ~via:(Rng.int rng m * stride)
+    done;
+    for _ = 1 to 64 do
+      Ftr_p2p.Overlay.lookup ov ~from:(Rng.int rng m * stride) ~target:(Rng.int rng n) ()
+    done;
+    Ftr_sim.Engine.run ~max_events:200 engine;
+    report "engine: mid-run queue" (Check.engine engine);
+    Ftr_sim.Engine.run engine;
+    report "overlay: quiescent ring" (Check.overlay ~strict_ring:true ov);
+    (* DHT store over the ideal network, fully replicated. *)
+    let st = Ftr_dht.Store.create ~replicas:3 ideal in
+    for i = 1 to 256 do
+      Ftr_dht.Store.put st ~key:(Printf.sprintf "key-%d" i) ~value:(string_of_int i)
+    done;
+    report "store: key placement" (Check.store ~complete:true st);
+    if !total = 0 then
+      Printf.printf "all %d check sections passed (0 violations)\n" !sections
+    else begin
+      Printf.printf "%d violation(s) across %d sections\n" !total !sections;
+      exit 1
+    end
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every section, not just failures.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the invariant sanitizer battery over builders, routes, simulator and DHT")
+    Term.(const run $ n_t 1024 $ links_t $ seed_t $ verbose_t)
+
 let () =
   let info =
     Cmd.info "p2psim" ~version:"1.0.0"
@@ -381,4 +512,5 @@ let () =
             anatomy_cmd;
             dht_cmd;
             churn_cmd;
+            check_cmd;
           ]))

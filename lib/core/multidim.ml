@@ -1,5 +1,4 @@
 module Torus = Ftr_metric.Torus
-module Rng = Ftr_prng.Rng
 module Sample = Ftr_prng.Sample
 
 type t = {

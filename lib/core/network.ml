@@ -97,6 +97,42 @@ let index_of_position t ~position =
 
 let to_adjacency t = Ftr_graph.Adjacency.of_arrays t.neighbors
 
+(* Sanitizer hook: structural invariants every builder must establish —
+   sorted in-range neighbour lists without self-links, and the short-link
+   ring that keeps greedy routing total (both sides on the line; at least
+   the successor on the circle, where one-sided constructions like the
+   chord-like network carry no predecessor link). Run on every freshly
+   built network when FTR_CHECK is on; the exhaustive battery with
+   per-builder policies lives in Ftr_check.Check. *)
+let debug_validate t =
+  let n = Array.length t.positions in
+  let contains ns x = Array.exists (fun v -> v = x) ns in
+  for i = 0 to n - 1 do
+    let ns = t.neighbors.(i) in
+    Array.iteri
+      (fun k j ->
+        if j < 0 || j >= n then
+          Ftr_debug.Debug.failf "Network: node %d links to non-node %d" i j;
+        if j = i then Ftr_debug.Debug.failf "Network: node %d links to itself" i;
+        if k > 0 && ns.(k - 1) > j then
+          Ftr_debug.Debug.failf "Network: node %d neighbour list unsorted at entry %d" i k)
+      ns;
+    match t.geometry with
+    | Line ->
+        if i > 0 && not (contains ns (i - 1)) then
+          Ftr_debug.Debug.failf "Network: node %d missing ring link to %d" i (i - 1);
+        if i < n - 1 && not (contains ns (i + 1)) then
+          Ftr_debug.Debug.failf "Network: node %d missing ring link to %d" i (i + 1)
+    | Circle ->
+        if n > 1 && not (contains ns ((i + 1) mod n)) then
+          Ftr_debug.Debug.failf "Network: node %d missing ring link to successor %d" i
+            ((i + 1) mod n)
+  done
+
+let checked t =
+  if Ftr_debug.Debug.enabled () then debug_validate t;
+  t
+
 let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~links () =
   let n = Array.length positions in
   if Array.length neighbors <> n then
@@ -111,7 +147,7 @@ let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~lin
     (Array.iter (fun j ->
          if j < 0 || j >= n then invalid_arg "Network.of_neighbor_indices: neighbor out of range"))
     neighbors;
-  { geometry; line_size; positions; neighbors; links }
+  checked { geometry; line_size; positions; neighbors; links }
 
 (* Draw a long-distance target for the node at position [src]: a point [v]
    distinct from [src] with Pr[v] proportional to 1/d(src,v)^exponent,
@@ -148,7 +184,7 @@ let build_ideal ?(exponent = 1.0) ~n ~links rng =
         done;
         finish_node ~immediate ~long:!long)
   in
-  { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  checked { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
 
 let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
   if n < 2 then invalid_arg "Network.build_binomial: need at least two positions";
@@ -214,7 +250,7 @@ let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
         done;
         finish_node ~immediate ~long:!long)
   in
-  { geometry = Line; line_size = n; positions; neighbors; links }
+  checked { geometry = Line; line_size = n; positions; neighbors; links }
 
 let ceil_log ~base n =
   if base < 2 then invalid_arg "Network.ceil_log: base must be >= 2";
@@ -249,7 +285,7 @@ let build_deterministic ~n ~base =
         Array.of_list (List.rev !uniq))
   in
   let links = (base - 1) * digits in
-  { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  checked { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
 
 let build_geometric ~n ~base =
   if n < 2 then invalid_arg "Network.build_geometric: need at least two nodes";
@@ -272,13 +308,14 @@ let build_geometric ~n ~base =
           arr;
         Array.of_list (List.rev !uniq))
   in
-  {
-    geometry = Line;
-    line_size = n;
-    positions = Array.init n (fun i -> i);
-    neighbors;
-    links = ceil_log ~base n;
-  }
+  checked
+    {
+      geometry = Line;
+      line_size = n;
+      positions = Array.init n (fun i -> i);
+      neighbors;
+      links = ceil_log ~base n;
+    }
 
 (* Lengths of all links except the two ring links (the nearest present node
    on each side); these are the long-distance links whose distribution
@@ -342,7 +379,7 @@ let build_ring ?(exponent = 1.0) ~n ~links rng =
         Array.sort compare arr;
         arr)
   in
-  { geometry = Circle; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  checked { geometry = Circle; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
 
 (* Chord as an instance of this framework (Section 3: Chord's nodes "can be
    thought of as embedded on grid points on a real circle"): clockwise
@@ -374,10 +411,11 @@ let build_chordlike ?(base = 2) ?(predecessor = false) ~n () =
           arr;
         Array.of_list (List.rev !uniq))
   in
-  {
-    geometry = Circle;
-    line_size = n;
-    positions = Array.init n (fun i -> i);
-    neighbors;
-    links = (base - 1) * ceil_log ~base n;
-  }
+  checked
+    {
+      geometry = Circle;
+      line_size = n;
+      positions = Array.init n (fun i -> i);
+      neighbors;
+      links = (base - 1) * ceil_log ~base n;
+    }

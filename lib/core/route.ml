@@ -58,6 +58,23 @@ let best_neighbor net failures ~side ~mode ~tried ~cur ~dst =
 
 let no_tried : (int, int list) Hashtbl.t = Hashtbl.create 1
 
+(* Sanitizer hook: a hop chosen in [`Strict] mode must obey the greedy
+   contract — strictly decrease the routing distance, and on one-sided
+   networks never overshoot the target (Section 4.2.1). [best_neighbor]
+   establishes this by construction; the check guards against regressions
+   in the candidate filter. *)
+let debug_check_strict_hop net ~side ~cur ~v ~dst =
+  if Ftr_debug.Debug.enabled () then begin
+    let rd = match side with One_sided -> `One_sided | Two_sided -> `Two_sided in
+    let dv = Network.routing_distance net ~side:rd ~src:v ~dst
+    and dc = Network.routing_distance net ~side:rd ~src:cur ~dst in
+    if dv >= dc then
+      Ftr_debug.Debug.failf
+        "Route: strict hop %d -> %d fails to approach %d (distance %d >= %d)" cur v dst dv dc;
+    if side = One_sided && not (Network.one_sided_admissible net ~cur ~v ~dst) then
+      Ftr_debug.Debug.failf "Route: one-sided hop %d -> %d overshoots target %d" cur v dst
+  end
+
 let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     ?(max_hops = 1_000_000) ?rng ?(on_hop = fun _ -> ()) net ~src ~dst =
   let n = Network.size net in
@@ -81,6 +98,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     while (not !stop) && !cur <> target && !h < max_hops do
       match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur:!cur ~dst:target with
       | Some (idx, v) ->
+          debug_check_strict_hop net ~side ~cur:!cur ~v ~dst:target;
           record_tried !cur idx;
           cur := v;
           incr h;
@@ -145,6 +163,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         else
           match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur ~dst with
           | Some (idx, v) ->
+              debug_check_strict_hop net ~side ~cur ~v ~dst;
               record_tried cur idx;
               on_hop v;
               forward v (h + 1) (trim (cur :: history))

@@ -40,7 +40,15 @@ let replica_owners t key =
   collect 0 []
 
 let put t ~key ~value =
-  List.iter (fun o -> Hashtbl.replace t.tables.(o) key value) (replica_owners t key)
+  List.iter (fun o -> Hashtbl.replace t.tables.(o) key value) (replica_owners t key);
+  (* Sanitizer hook: a put must land the key with its basin owner. *)
+  if Ftr_debug.Debug.enabled () then begin
+    let o = owner t key in
+    if o < 0 || o >= Network.size t.net then
+      Ftr_debug.Debug.failf "Store: owner %d of key %S is not a node" o key;
+    if Hashtbl.find_opt t.tables.(o) key <> Some value then
+      Ftr_debug.Debug.failf "Store: key %S missing at its primary owner %d after put" key o
+  end
 
 let get t ~key =
   let rec scan = function
@@ -59,6 +67,10 @@ let stored_pairs t =
   Array.fold_left (fun acc table -> acc + Hashtbl.length table) 0 t.tables
 
 let keys_at t node = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables.(node) []
+
+let iter_stored t f =
+  Array.iteri (fun node table -> Hashtbl.iter (fun key value -> f ~node ~key ~value) table)
+    t.tables
 
 (* ------------------------------------------------------------------ *)
 (* Routed operations                                                   *)

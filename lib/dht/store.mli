@@ -42,6 +42,10 @@ val stored_pairs : t -> int
 val keys_at : t -> int -> string list
 (** Keys stored at one node. *)
 
+val iter_stored : t -> (node:int -> key:string -> value:string -> unit) -> unit
+(** Visit every stored (node, key, value) triple — replicas included — so
+    the invariant sanitizer can audit key placement. *)
+
 (** {1 Routed operations} *)
 
 type routed = {

@@ -118,6 +118,28 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
+(* Sanitizer hook: per-node structural invariants, re-checked after every
+   mutation when FTR_CHECK is on. The ring pointers must frame the node,
+   the age bookkeeping must stay aligned with the link list, and the link
+   list must respect the budget ℓ. *)
+let debug_check_node t node =
+  (match node.left with
+  | Some l when l >= node.pos ->
+      Ftr_debug.Debug.failf "Overlay: node %d has left pointer %d on its right" node.pos l
+  | Some _ | None -> ());
+  (match node.right with
+  | Some r when r <= node.pos ->
+      Ftr_debug.Debug.failf "Overlay: node %d has right pointer %d on its left" node.pos r
+  | Some _ | None -> ());
+  let nl = List.length node.long and nb = List.length node.birth_order in
+  if nl <> nb then
+    Ftr_debug.Debug.failf "Overlay: node %d has %d long links but %d birth ticks" node.pos nl nb;
+  if nl > t.links then
+    Ftr_debug.Debug.failf "Overlay: node %d holds %d long links, budget is %d" node.pos nl
+      t.links;
+  if List.mem node.pos node.long then
+    Ftr_debug.Debug.failf "Overlay: node %d holds a long link to itself" node.pos
+
 (* ------------------------------------------------------------------ *)
 (* Link maintenance                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -139,7 +161,8 @@ let remove_long node target =
 
 let add_long t node target =
   node.long <- target :: node.long;
-  node.birth_order <- next_tick t :: node.birth_order
+  node.birth_order <- next_tick t :: node.birth_order;
+  if Ftr_debug.Debug.enabled () then debug_check_node t node
 
 (* Section 5's replacement rule, applied when [v] solicits a link from
    [node]: accept with probability p_{k+1}/sum, evict proportionally. *)
@@ -268,7 +291,8 @@ and drop_dead_link t node ~dead =
   if node.right = Some dead then begin
     node.right <- probe_ring t node ~from:dead ~dir:1;
     t.stats.repairs <- t.stats.repairs + 1
-  end
+  end;
+  if Ftr_debug.Debug.enabled () then debug_check_node t node
 
 and probe_ring t node ~from ~dir =
   (* Walk the line away from the dead neighbour, one probe per grid point,
@@ -314,23 +338,56 @@ let lookup t ~from ~target ?callback () =
 let insert_into_ring t node ~owner_pos =
   match live_node t owner_pos with
   | None -> ()
+  | Some owner when owner.pos = node.pos ->
+      (* The placement lookup resolved to the joining node itself: the node
+         is already visible to ring probes while its own join is in flight,
+         so a concurrent repair can route the lookup straight back to it.
+         Treating itself as owner would write self-pointers (caught by the
+         sanitizer); probe both directions instead to splice in. *)
+      node.left <- probe_ring t node ~from:node.pos ~dir:(-1);
+      node.right <- probe_ring t node ~from:node.pos ~dir:1;
+      (match Option.bind node.left (live_node t) with
+      | Some l -> l.right <- Some node.pos
+      | None -> ());
+      (match Option.bind node.right (live_node t) with
+      | Some r -> r.left <- Some node.pos
+      | None -> ());
+      if Ftr_debug.Debug.enabled () then debug_check_node t node
   | Some owner ->
       if owner.pos < node.pos then begin
-        (* v sits between owner and owner's right neighbour. *)
+        (* v sits between owner and owner's right neighbour. The owner's
+           pointer may still name a dead previous occupant of [node.pos]
+           itself; inheriting it verbatim would make the new node its own
+           neighbour (a self-loop the sanitizer flagged under churn), so
+           re-probe the ring past the stale entry instead. *)
+        let succ =
+          match owner.right with
+          | Some r when r = node.pos -> probe_ring t node ~from:node.pos ~dir:1
+          | r -> r
+        in
         node.left <- Some owner.pos;
-        node.right <- owner.right;
-        (match Option.bind owner.right (live_node t) with
+        node.right <- succ;
+        (match Option.bind succ (live_node t) with
         | Some r -> r.left <- Some node.pos
         | None -> ());
         owner.right <- Some node.pos
       end
       else begin
-        node.left <- owner.left;
+        let pred =
+          match owner.left with
+          | Some l when l = node.pos -> probe_ring t node ~from:node.pos ~dir:(-1)
+          | l -> l
+        in
+        node.left <- pred;
         node.right <- Some owner.pos;
-        (match Option.bind owner.left (live_node t) with
+        (match Option.bind pred (live_node t) with
         | Some l -> l.right <- Some node.pos
         | None -> ());
         owner.left <- Some node.pos
+      end;
+      if Ftr_debug.Debug.enabled () then begin
+        debug_check_node t node;
+        debug_check_node t owner
       end
 
 let bootstrap_node t ~pos =
@@ -454,6 +511,39 @@ let populate t ~positions =
             if owner <> pos then add_long t node owner
           done)
         arr
+
+(* ------------------------------------------------------------------ *)
+(* Introspection for the invariant sanitizer                           *)
+(* ------------------------------------------------------------------ *)
+
+type node_view = {
+  view_pos : int;
+  view_alive : bool;
+  view_left : int option;
+  view_right : int option;
+  view_long : int list;
+  view_births : int list;
+}
+
+let line_size t = t.line_size
+
+let links t = t.links
+
+let known t pos = Hashtbl.mem t.nodes pos
+
+let iter_nodes t f =
+  Hashtbl.iter
+    (fun _ node ->
+      f
+        {
+          view_pos = node.pos;
+          view_alive = node.alive;
+          view_left = node.left;
+          view_right = node.right;
+          view_long = node.long;
+          view_births = node.birth_order;
+        })
+    t.nodes
 
 (* ------------------------------------------------------------------ *)
 (* Proactive stabilization                                             *)

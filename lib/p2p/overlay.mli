@@ -87,6 +87,30 @@ val lookup :
     failures are counted in {!stats}.
     @raise Invalid_argument if [from] is dead or [target] off the line. *)
 
+(** {1 Introspection for the invariant sanitizer} *)
+
+type node_view = {
+  view_pos : int;
+  view_alive : bool;
+  view_left : int option;  (** nearest known live node to the left *)
+  view_right : int option;
+  view_long : int list;  (** long-distance link targets (positions) *)
+  view_births : int list;  (** arrival ticks, aligned with [view_long] *)
+}
+
+val line_size : t -> int
+(** Number of grid points on the underlying line. *)
+
+val links : t -> int
+(** The per-node long-link budget ℓ. *)
+
+val known : t -> int -> bool
+(** Whether a node (live or dead) ever existed at the position. *)
+
+val iter_nodes : t -> (node_view -> unit) -> unit
+(** Visit every node in the registry, dead ones included, in no
+    particular order. *)
+
 val enable_stabilization : ?period:float -> ?checks_per_tick:int -> until:float -> t -> unit
 (** Background self-healing until virtual time [until]: every [period]
     (default 10.0), [checks_per_tick] (default 8) random live nodes each

@@ -62,6 +62,10 @@ let rec step t =
         step t
       end
       else begin
+        if Ftr_debug.Debug.enabled () && ev.time < t.now then
+          Ftr_debug.Debug.failf
+            "Engine: event #%d at time %g popped with the clock already at %g" ev.id ev.time
+            t.now;
         t.now <- ev.time;
         t.executed <- t.executed + 1;
         ev.action ();
@@ -86,3 +90,8 @@ let run ?max_events ?until t =
 let drain t =
   Heap.clear t.heap;
   Hashtbl.reset t.cancelled
+
+let pending_slots t =
+  Array.init (Heap.length t.heap) (fun i ->
+      let ev = Heap.slot t.heap i in
+      (ev.time, ev.seq))

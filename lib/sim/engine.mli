@@ -43,3 +43,8 @@ val executed_events : t -> int
 
 val drain : t -> unit
 (** Discard all pending events. *)
+
+val pending_slots : t -> (float * int) array
+(** [(time, seq)] of every queued event in internal heap-array order
+    (cancelled-but-not-yet-popped events included), so the sanitizer can
+    re-check heap order and clock monotonicity from outside. *)

@@ -46,11 +46,27 @@ let rec sift_down t i =
     end
   end
 
+let slot t i =
+  if i < 0 || i >= t.length then invalid_arg "Heap.slot: index out of range";
+  t.data.(i)
+
+let compare_items t = t.compare
+
+(* Sanitizer hook: full heap-property sweep, run after every mutation when
+   FTR_CHECK is on. O(n), but only ever paid in debug mode. *)
+let debug_validate t =
+  for i = 1 to t.length - 1 do
+    let parent = (i - 1) / 2 in
+    if t.compare t.data.(parent) t.data.(i) > 0 then
+      Ftr_debug.Debug.failf "Heap: order violated between slot %d and its parent %d" i parent
+  done
+
 let push t item =
   grow t item;
   t.data.(t.length) <- item;
   t.length <- t.length + 1;
-  sift_up t (t.length - 1)
+  sift_up t (t.length - 1);
+  if Ftr_debug.Debug.enabled () then debug_validate t
 
 let peek t = if t.length = 0 then None else Some t.data.(0)
 
@@ -63,6 +79,7 @@ let pop t =
       t.data.(0) <- t.data.(t.length);
       sift_down t 0
     end;
+    if Ftr_debug.Debug.enabled () then debug_validate t;
     Some top
   end
 

@@ -25,3 +25,14 @@ val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive sorted drain (for tests and debugging). *)
+
+(** {1 Introspection for the invariant sanitizer} *)
+
+val slot : 'a t -> int -> 'a
+(** The element stored at array slot [i] of the implicit binary tree,
+    [0 <= i < length]. Slot 0 is the minimum; the children of slot [i]
+    are [2i+1] and [2i+2]. @raise Invalid_argument out of range. *)
+
+val compare_items : 'a t -> 'a -> 'a -> int
+(** The heap's own ordering, so external validators can re-check the
+    heap property without knowing the element type's comparison. *)

@@ -281,6 +281,6 @@ let () =
           quick "fast sampler matches bernoulli reference" fast_sampler_matches_bernoulli_reference;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_single_point_bounded; prop_aggregate_bounded ]
+        List.map (fun p -> QCheck_alcotest.to_alcotest p) [ prop_single_point_bounded; prop_aggregate_bounded ]
       );
     ]

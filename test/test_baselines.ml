@@ -498,6 +498,6 @@ let () =
       ( "comparison",
         [ quick "structured beats flooding" structured_overlays_beat_flooding_in_messages ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_chord_reaches_successor; prop_lattice_hops_exact ]
+        List.map (fun p -> QCheck_alcotest.to_alcotest p) [ prop_chord_reaches_successor; prop_lattice_hops_exact ]
       );
     ]

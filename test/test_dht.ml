@@ -525,7 +525,7 @@ let () =
           quick "handoff of an empty node" dynamic_handoff_of_empty_node;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [
             prop_store_roundtrip;
             prop_routed_get_finds_stored;

@@ -1,5 +1,4 @@
 module E = Ftr_core.Experiment
-module Route = Ftr_core.Route
 module Network = Ftr_core.Network
 module Failure = Ftr_core.Failure
 module Rng = Ftr_prng.Rng

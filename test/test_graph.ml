@@ -201,6 +201,6 @@ let () =
           quick "weak components" bfs_components;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [ prop_bitset_roundtrip; prop_bfs_triangle; prop_reverse_involution ] );
     ]

@@ -284,6 +284,6 @@ let () =
           quick "rejects extinction" repair_rejects_extinction;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [ prop_constructed_degrees; prop_constructed_connected ] );
     ]

@@ -211,7 +211,7 @@ let () =
           quick "rejects bad input" torus_rejects;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [
             prop_line_triangle;
             prop_ring_triangle;

@@ -530,7 +530,7 @@ let () =
           quick "rejects garbage" serial_rejects_garbage;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [
             prop_ideal_connected;
             prop_deterministic_degree_bound;

@@ -503,7 +503,7 @@ let () =
           quick "power-law exponent 2" power_law_exponent2;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [ prop_int_in_bound; prop_permutation; prop_power_law_in_range; prop_cdf_draw_in_range ]
       );
     ]

@@ -830,7 +830,7 @@ let () =
           quick "compose" compose_masks;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [
             prop_always_delivers_no_failures;
             prop_hops_bounded_by_distance;

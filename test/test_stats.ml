@@ -498,7 +498,7 @@ let () =
           quick "number rendering" csv_number_fields;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun p -> QCheck_alcotest.to_alcotest p)
           [
             prop_summary_mean_in_range;
             prop_merge_commutes;
