@@ -22,11 +22,21 @@ let full = match Sys.getenv_opt "FTR_BENCH_FULL" with Some ("1" | "true") -> tru
 (* Set FTR_BENCH_CSV=<dir> to also export every table as CSV. *)
 let csv_dir = Sys.getenv_opt "FTR_BENCH_CSV"
 
+(* [Sys.mkdir] has no -p: a nested FTR_BENCH_CSV like out/2026/bench used
+   to fail with ENOENT. Create the ancestry leaf-last; racing creators are
+   harmless (the final existence check is what matters). *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let csv name ~header ~rows =
   match csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       let path = Filename.concat dir (name ^ ".csv") in
       Ftr_stats.Csv.write_file ~path ~header ~rows;
       Printf.printf "[csv] wrote %s\n%!" path
@@ -891,24 +901,48 @@ let run_micro () =
       Printf.printf "%40s %16s %10.4f\n%!" name pretty r2)
     (List.sort compare rows)
 
+(* Each harness section runs under a [Ftr_obs.Span] so the closing report
+   shows where the wall time went, alongside whatever metrics the layers
+   recorded while the sections ran. *)
+let run_section name f =
+  Ftr_obs.Span.time name f;
+  Printf.printf "\n[obs] span report after %s:\n%s%!" name (Ftr_obs.Export.span_report ())
+
 let () =
   let t0 = Unix.gettimeofday () in
+  (* The harness is an observability consumer: telemetry is on regardless
+     of FTR_OBS, so every section feeds the final snapshot. *)
+  Ftr_obs.Flag.set_mode true;
   Printf.printf "Fault-tolerant routing in peer-to-peer systems — benchmark harness\n";
   Printf.printf "scale: %s (set FTR_BENCH_FULL=1 for paper scale)\n%!"
     (if full then "FULL (paper scale)" else "default (reduced)");
-  run_figure5 ();
-  run_figure6 ();
-  run_figure7 ();
-  run_table1 ();
-  run_lower_bound_machinery ();
-  run_ablations ();
-  run_extensions ();
-  run_anatomy ();
-  run_byzantine ();
-  run_dht ();
-  run_baselines ();
-  run_churn ();
-  run_micro ();
+  run_section "bench.figure5" run_figure5;
+  run_section "bench.figure6" run_figure6;
+  run_section "bench.figure7" run_figure7;
+  run_section "bench.table1" run_table1;
+  run_section "bench.lower_bound" run_lower_bound_machinery;
+  run_section "bench.ablations" run_ablations;
+  run_section "bench.extensions" run_extensions;
+  run_section "bench.anatomy" run_anatomy;
+  run_section "bench.byzantine" run_byzantine;
+  run_section "bench.dht" run_dht;
+  run_section "bench.baselines" run_baselines;
+  run_section "bench.churn" run_churn;
+  run_section "bench.micro" run_micro;
   csv "table1_and_sweeps" ~header:[ "row"; "param"; "measured"; "bound"; "ratio" ]
     ~rows:(List.rev !table1_csv_rows);
+  (* Closing metrics snapshot: one line of JSON on stdout, and a file next
+     to the CSVs when FTR_BENCH_CSV is set. *)
+  let snapshot = Ftr_obs.Json.to_string (Ftr_obs.Export.json_snapshot ()) in
+  Printf.printf "\n[obs] metrics snapshot: %s\n" snapshot;
+  (match csv_dir with
+  | Some dir ->
+      mkdir_p dir;
+      let path = Filename.concat dir "metrics.json" in
+      let oc = open_out path in
+      output_string oc snapshot;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[obs] wrote %s\n%!" path
+  | None -> ());
   Printf.printf "\ntotal wall time: %.1f s\n%!" (Unix.gettimeofday () -. t0)

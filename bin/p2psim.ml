@@ -47,10 +47,15 @@ let messages_t default =
 
 let resolve_links n = function Some l -> l | None -> int_of_float (Theory.lg n)
 
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit machine-readable JSON instead of the human-readable table.")
+
 (* route *)
 
 let route_cmd =
-  let run n links seed src dst fraction strategy =
+  let run n links seed src dst fraction strategy json =
     let links = resolve_links n links in
     let rng = Rng.of_int seed in
     let net = Network.build_ideal ~n ~links rng in
@@ -70,16 +75,42 @@ let route_cmd =
       else (Ftr_core.Failure.none, fun _ -> true)
     in
     if not (live_guard src && live_guard dst) then
-      print_endline "an endpoint fell in the failed set; rerun with another --seed"
+      if json then
+        print_endline
+          (Ftr_obs.Json.to_string
+             (Ftr_obs.Json.Obj
+                [ ("error", Ftr_obs.Json.String "endpoint fell in the failed set") ]))
+      else print_endline "an endpoint fell in the failed set; rerun with another --seed"
     else begin
       let outcome, path = Route.route_path ~failures ~strategy ~rng net ~src ~dst in
-      (match outcome with
-      | Route.Delivered { hops } ->
-          Printf.printf "delivered in %d hops (loop-erased path: %d)\n" hops
-            (Route.loop_erased_length path)
-      | Route.Failed { hops; stuck_at; _ } ->
-          Printf.printf "FAILED after %d hops, stuck at node %d\n" hops stuck_at);
-      Printf.printf "route: %s\n" (String.concat " -> " (List.map string_of_int path))
+      if json then begin
+        let open Ftr_obs.Json in
+        let extra =
+          match outcome with
+          | Route.Delivered _ -> []
+          | Route.Failed { stuck_at; reason; _ } ->
+              [ ("stuck_at", Int stuck_at); ("reason", String (Route.reason_label reason)) ]
+        in
+        print_endline
+          (to_string
+             (Obj
+                ([
+                   ("delivered", Bool (Route.delivered outcome));
+                   ("hops", Int (Route.hops outcome));
+                   ("loop_erased", Int (Route.loop_erased_length path));
+                   ("path", List (List.map (fun v -> Int v) path));
+                 ]
+                @ extra)))
+      end
+      else begin
+        (match outcome with
+        | Route.Delivered { hops } ->
+            Printf.printf "delivered in %d hops (loop-erased path: %d)\n" hops
+              (Route.loop_erased_length path)
+        | Route.Failed { hops; stuck_at; _ } ->
+            Printf.printf "FAILED after %d hops, stuck at node %d\n" hops stuck_at);
+        Printf.printf "route: %s\n" (String.concat " -> " (List.map string_of_int path))
+      end
     end
   in
   let src_t = Arg.(value & opt int 0 & info [ "src" ] ~docv:"SRC" ~doc:"Source node.") in
@@ -96,7 +127,8 @@ let route_cmd =
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Route one message and print the route it took")
-    Term.(const run $ n_t 4096 $ links_t $ seed_t $ src_t $ dst_t $ fraction_t $ strategy_t)
+    Term.(
+      const run $ n_t 4096 $ links_t $ seed_t $ src_t $ dst_t $ fraction_t $ strategy_t $ json_t)
 
 (* figure5 *)
 
@@ -159,34 +191,61 @@ let figure7_cmd =
 (* table1 *)
 
 let table1_cmd =
-  let run n seed networks messages =
-    let show header rows =
-      Printf.printf "\n-- %s --\n%24s %12s %12s %12s %8s\n" header "row" "param" "measured"
-        "bound" "ratio";
-      List.iter
-        (fun r ->
-          Printf.printf "%24s %12.3f %12.2f %12.2f %8.3f\n" r.E.label r.E.parameter r.E.measured
-            r.E.bound r.E.ratio)
-        rows
-    in
+  let run n seed networks messages json =
     let ns = [ n / 64; n / 16; n / 4; n ] in
-    show "Theorem 12 (1 link)" (E.sweep_single_link ~ns ~networks ~messages ~seed ());
-    show "Theorem 13 (l links)"
-      (E.sweep_multi_link ~n ~links_list:[ 1; 2; 4; 8 ] ~networks ~messages ~seed ());
-    show "Theorem 14 (deterministic)" (E.sweep_deterministic ~ns ~base:2 ~messages ~seed ());
-    show "Theorem 15 (link failures)"
-      (E.sweep_link_failure ~n ~probs:[ 1.0; 0.6; 0.2 ] ~networks ~messages ~seed ());
-    show "Theorem 16 (geometric links)"
-      (E.sweep_geometric_link_failure ~n ~base:2 ~probs:[ 1.0; 0.6 ] ~networks ~messages ~seed ());
-    show "Theorem 17 (binomial nodes)"
-      (E.sweep_binomial_nodes ~n ~probs:[ 1.0; 0.5 ] ~networks ~messages ~seed ());
-    show "Theorem 18 (node failures)"
-      (E.sweep_node_failure ~n ~probs:[ 0.0; 0.3; 0.6 ] ~networks ~messages ~seed ());
-    show "Theorem 10 (lower bound)" (E.sweep_lower_bound ~ns ~links:3 ~trials:300 ~seed ())
+    let sections =
+      [
+        ("Theorem 12 (1 link)", E.sweep_single_link ~ns ~networks ~messages ~seed ());
+        ( "Theorem 13 (l links)",
+          E.sweep_multi_link ~n ~links_list:[ 1; 2; 4; 8 ] ~networks ~messages ~seed () );
+        ("Theorem 14 (deterministic)", E.sweep_deterministic ~ns ~base:2 ~messages ~seed ());
+        ( "Theorem 15 (link failures)",
+          E.sweep_link_failure ~n ~probs:[ 1.0; 0.6; 0.2 ] ~networks ~messages ~seed () );
+        ( "Theorem 16 (geometric links)",
+          E.sweep_geometric_link_failure ~n ~base:2 ~probs:[ 1.0; 0.6 ] ~networks ~messages
+            ~seed () );
+        ( "Theorem 17 (binomial nodes)",
+          E.sweep_binomial_nodes ~n ~probs:[ 1.0; 0.5 ] ~networks ~messages ~seed () );
+        ( "Theorem 18 (node failures)",
+          E.sweep_node_failure ~n ~probs:[ 0.0; 0.3; 0.6 ] ~networks ~messages ~seed () );
+        ("Theorem 10 (lower bound)", E.sweep_lower_bound ~ns ~links:3 ~trials:300 ~seed ());
+      ]
+    in
+    if json then begin
+      let open Ftr_obs.Json in
+      let row r =
+        Obj
+          [
+            ("label", String r.E.label);
+            ("parameter", Float r.E.parameter);
+            ("measured", Float r.E.measured);
+            ("bound", Float r.E.bound);
+            ("ratio", Float r.E.ratio);
+          ]
+      in
+      print_endline
+        (to_string
+           (List
+              (List.map
+                 (fun (header, rows) ->
+                   Obj [ ("section", String header); ("rows", List (List.map row rows)) ])
+                 sections)))
+    end
+    else
+      List.iter
+        (fun (header, rows) ->
+          Printf.printf "\n-- %s --\n%24s %12s %12s %12s %8s\n" header "row" "param" "measured"
+            "bound" "ratio";
+          List.iter
+            (fun r ->
+              Printf.printf "%24s %12.3f %12.2f %12.2f %8.3f\n" r.E.label r.E.parameter
+                r.E.measured r.E.bound r.E.ratio)
+            rows)
+        sections
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Every Table 1 bound against simulation")
-    Term.(const run $ n_t (1 lsl 14) $ seed_t $ networks_t 3 $ messages_t 200)
+    Term.(const run $ n_t (1 lsl 14) $ seed_t $ networks_t 3 $ messages_t 200 $ json_t)
 
 (* adversary *)
 
@@ -361,6 +420,137 @@ let churn_cmd =
     (Cmd.info "churn" ~doc:"Run the dynamic protocol under churn and report")
     Term.(const run $ n_t 1024 $ links_t $ seed_t $ duration_t $ initial_t)
 
+(* report *)
+
+let report_cmd =
+  let run n links seed json prometheus events_path selfcheck =
+    (* The telemetry layer is the point of this subcommand: force it on
+       regardless of FTR_OBS and start from clean registries so the
+       snapshot reflects exactly the workload below. *)
+    Ftr_obs.Flag.set_mode true;
+    Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
+    Ftr_obs.Span.reset ();
+    Ftr_obs.Events.reset ();
+    let links = resolve_links n links in
+    let (), jsonl =
+      Ftr_obs.Events.with_buffer @@ fun () ->
+      let rng = Rng.of_int seed in
+      (* A representative slice of the simulator: an ideal network routed
+         under 20% node failures with backtracking (route + network
+         metrics), a short churn run (engine, overlay and heap metrics),
+         a replicated store workload (hit/miss counters) and a small
+         heuristic construction (basin/redirect counters). *)
+      let net = Network.build_ideal ~n ~links rng in
+      let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction:0.2 in
+      let failures = Ftr_core.Failure.of_node_mask mask in
+      let alive v = Ftr_graph.Bitset.get mask v in
+      let routed = ref 0 in
+      while !routed < 200 do
+        let src = Rng.int rng n and dst = Rng.int rng n in
+        if src <> dst && alive src && alive dst then begin
+          incr routed;
+          ignore
+            (Route.route ~failures ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src
+               ~dst)
+        end
+      done;
+      ignore
+        (Ftr_p2p.Churn.run
+           ~config:
+             {
+               Ftr_p2p.Churn.duration = 200.0;
+               join_rate = 0.05;
+               crash_rate = 0.03;
+               leave_rate = 0.02;
+               lookup_rate = 1.0;
+               min_nodes = 8;
+             }
+           ~seed ~line_size:(max 256 (n / 4)) ~initial_nodes:64 ~links:(max 1 (min links 4)) ());
+      let store = Ftr_dht.Store.create ~replicas:2 net in
+      for i = 1 to 64 do
+        Ftr_dht.Store.put store ~key:(Printf.sprintf "key-%d" i) ~value:(string_of_int i)
+      done;
+      (* A third of the gets miss, so both result labels show up. *)
+      for i = 1 to 96 do
+        ignore (Ftr_dht.Store.get store ~key:(Printf.sprintf "key-%d" i))
+      done;
+      ignore (Ftr_core.Heuristic.build ~n:(min n 512) ~links:(max 1 (min links 4)) rng)
+    in
+    (match events_path with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc jsonl;
+        close_out oc
+    | None -> ());
+    if selfcheck then begin
+      let problems = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl) in
+      if lines = [] then fail "no events were emitted";
+      List.iter
+        (fun line ->
+          match Ftr_obs.Json.parse_opt line with
+          | Some (Ftr_obs.Json.Obj _) -> ()
+          | Some _ -> fail "event line is not a JSON object: %s" line
+          | None -> fail "malformed JSONL line: %s" line)
+        lines;
+      if Ftr_obs.Metrics.size () = 0 then fail "metrics registry is empty";
+      let hops_count =
+        List.fold_left
+          (fun acc it ->
+            match it.Ftr_obs.Metrics.item_view with
+            | Ftr_obs.Metrics.Histogram_view hv when it.Ftr_obs.Metrics.item_name = "route_hops"
+              ->
+                acc + hv.Ftr_obs.Metrics.h_count
+            | _ -> acc)
+          0
+          (Ftr_obs.Metrics.snapshot ())
+      in
+      if hops_count = 0 then fail "route_hops histogram recorded no observations";
+      (match Ftr_obs.Span.find "engine.run" with
+      | Some s when s.Ftr_obs.Span.count > 0 -> ()
+      | Some _ | None -> fail "no engine.run span was timed");
+      match !problems with
+      | [] -> print_endline "report selfcheck passed"
+      | ps ->
+          List.iter (Printf.eprintf "report selfcheck: %s\n") (List.rev ps);
+          exit 1
+    end
+    else if json then print_endline (Ftr_obs.Json.to_string (Ftr_obs.Export.json_snapshot ()))
+    else if prometheus then print_string (Ftr_obs.Export.prometheus ())
+    else begin
+      print_string (Ftr_obs.Export.text_report ());
+      Printf.printf "\nevents: %d emitted, %d suppressed%s\n" (Ftr_obs.Events.emitted ())
+        (Ftr_obs.Events.suppressed ())
+        (match events_path with Some p -> Printf.sprintf " (written to %s)" p | None -> "")
+    end
+  in
+  let prometheus_t =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ] ~doc:"Emit the snapshot in the Prometheus text exposition format.")
+  in
+  let events_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"PATH" ~doc:"Write the structured JSONL event stream to PATH.")
+  in
+  let selfcheck_t =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Validate the snapshot instead of printing it: every event line parses as a JSON \
+             object, the registry is non-empty, route_hops has observations and an engine.run \
+             span was timed. Exit 1 on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run a representative workload with telemetry forced on and print the snapshot")
+    Term.(
+      const run $ n_t 1024 $ links_t $ seed_t $ json_t $ prometheus_t $ events_t $ selfcheck_t)
+
 (* check *)
 
 let check_cmd =
@@ -512,5 +702,6 @@ let () =
             anatomy_cmd;
             dht_cmd;
             churn_cmd;
+            report_cmd;
             check_cmd;
           ]))

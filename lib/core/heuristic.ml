@@ -21,6 +21,7 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
     =
   if n < 2 then invalid_arg "Heuristic.build: need at least two nodes";
   if links < 1 then invalid_arg "Heuristic.build: need at least one long link";
+  Ftr_obs.Span.time "heuristic.build" @@ fun () ->
   let pl = Sample.power_law ~exponent ~max_length:(n - 1) in
   let long = Array.make_matrix n links (-1) in
   let birth = Array.make_matrix n links 0 in
@@ -33,6 +34,7 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
   (* Owner of the basin containing the 1/d-sampled sink for a node at
      position [src]. None while [src] is the only point that would exist. *)
   let sample_basin_owner ~src =
+    if Ftr_obs.Flag.enabled () then Ftr_obs.Metrics.incr "heuristic_basin_lookups_total";
     if IntSet.is_empty !present then None
     else
       let w = Network.sample_long_target pl rng ~n ~src in
@@ -74,6 +76,14 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
               !chosen
         in
         if victim >= 0 then begin
+          if Ftr_obs.Flag.enabled () then
+            Ftr_obs.Metrics.incr
+              ~labels:
+                [
+                  ( "replacement",
+                    match replacement with Proportional -> "proportional" | Oldest -> "oldest" );
+                ]
+              "heuristic_redirects_total";
           long.(u).(victim) <- v;
           birth.(u).(victim) <- next_tick ()
         end
@@ -176,6 +186,7 @@ let repair ?(exponent = 1.0) ~alive net rng =
   let live = Array.of_list !live in
   let m = Array.length live in
   if m < 2 then invalid_arg "Heuristic.repair: fewer than two survivors";
+  Ftr_obs.Span.time "heuristic.repair" @@ fun () ->
   (* Old index -> new compacted index. *)
   let index_of = Array.make n (-1) in
   Array.iteri (fun new_i old_i -> index_of.(old_i) <- new_i) live;

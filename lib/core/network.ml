@@ -172,6 +172,9 @@ let finish_node ~immediate ~long =
 let build_ideal ?(exponent = 1.0) ~n ~links rng =
   if n < 2 then invalid_arg "Network.build_ideal: need at least two nodes";
   if links < 0 then invalid_arg "Network.build_ideal: negative link count";
+  (* Every builder times its construction phase under a [Ftr_obs.Span]; a
+     no-op (beyond the closure) unless FTR_OBS is on. *)
+  Ftr_obs.Span.time "network.build_ideal" @@ fun () ->
   let pl = Ftr_prng.Sample.power_law ~exponent ~max_length:(n - 1) in
   let neighbors =
     Array.init n (fun u ->
@@ -190,6 +193,7 @@ let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
   if n < 2 then invalid_arg "Network.build_binomial: need at least two positions";
   if present_p <= 0.0 || present_p > 1.0 then
     invalid_arg "Network.build_binomial: present_p must be in (0,1]";
+  Ftr_obs.Span.time "network.build_binomial" @@ fun () ->
   let present = Array.make n false in
   let count = ref 0 in
   for p = 0 to n - 1 do
@@ -260,6 +264,7 @@ let ceil_log ~base n =
 let build_deterministic ~n ~base =
   if n < 2 then invalid_arg "Network.build_deterministic: need at least two nodes";
   if base < 2 then invalid_arg "Network.build_deterministic: base must be >= 2";
+  Ftr_obs.Span.time "network.build_deterministic" @@ fun () ->
   let digits = ceil_log ~base n in
   let neighbors =
     Array.init n (fun u ->
@@ -290,6 +295,7 @@ let build_deterministic ~n ~base =
 let build_geometric ~n ~base =
   if n < 2 then invalid_arg "Network.build_geometric: need at least two nodes";
   if base < 2 then invalid_arg "Network.build_geometric: base must be >= 2";
+  Ftr_obs.Span.time "network.build_geometric" @@ fun () ->
   let neighbors =
     Array.init n (fun u ->
         let acc = ref [] in
@@ -352,6 +358,7 @@ let long_link_lengths t =
 let build_ring ?(exponent = 1.0) ~n ~links rng =
   if n < 3 then invalid_arg "Network.build_ring: need at least three nodes";
   if links < 0 then invalid_arg "Network.build_ring: negative link count";
+  Ftr_obs.Span.time "network.build_ring" @@ fun () ->
   let max_d = n / 2 in
   (* Weight per arc distance d: (number of nodes at distance d) / d^a.
      Two nodes per distance except the antipode of an even ring. *)
@@ -388,6 +395,7 @@ let build_ring ?(exponent = 1.0) ~n ~links rng =
 let build_chordlike ?(base = 2) ?(predecessor = false) ~n () =
   if n < 3 then invalid_arg "Network.build_chordlike: need at least three nodes";
   if base < 2 then invalid_arg "Network.build_chordlike: base must be >= 2";
+  Ftr_obs.Span.time "network.build_chordlike" @@ fun () ->
   let neighbors =
     Array.init n (fun u ->
         (* Chord keeps only the successor; the optional predecessor makes

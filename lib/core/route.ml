@@ -15,6 +15,11 @@ let hops = function Delivered { hops } -> hops | Failed { hops; _ } -> hops
 
 let delivered = function Delivered _ -> true | Failed _ -> false
 
+let reason_label = function
+  | No_live_neighbor -> "no_live_neighbor"
+  | Hop_limit -> "hop_limit"
+  | No_live_reroute_target -> "no_live_reroute_target"
+
 (* Best live neighbour of [cur], subject to the one-sided no-overshoot rule
    when requested and to the per-node exclusion list used by backtracking.
    In [`Strict] mode only neighbours strictly closer to [dst] qualify (the
@@ -81,6 +86,28 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Route.route: node out of range";
   if not (Failure.node_alive failures dst) then invalid_arg "Route.route: destination is dead";
   if not (Failure.node_alive failures src) then invalid_arg "Route.route: source is dead";
+  (* Telemetry: one bool load here is the whole cost when FTR_OBS is off —
+     the unwrapped [on_hop] is passed through untouched and no metric or
+     event code runs. When on, every hop feeds the (sampled) JSONL stream
+     through the existing [on_hop] seam and the outcome feeds the
+     route_hops histogram and stuck-reason counters below. *)
+  let obs = Ftr_obs.Flag.enabled () in
+  let on_hop =
+    if obs then begin
+      let hop_no = ref 0 in
+      fun v ->
+        incr hop_no;
+        Ftr_obs.Events.emit ~kind:"route.hop"
+          [
+            ("src", Ftr_obs.Json.Int src);
+            ("dst", Ftr_obs.Json.Int dst);
+            ("hop", Ftr_obs.Json.Int !hop_no);
+            ("node", Ftr_obs.Json.Int v);
+          ];
+        on_hop v
+    end
+    else on_hop
+  in
   let tried =
     match strategy with Backtrack _ -> Hashtbl.create 64 | Terminate | Random_reroute _ -> no_tried
   in
@@ -119,6 +146,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         in
         attempt 0
   in
+  let outcome =
   match strategy with
   | Terminate ->
       let terminus, h, out_of_budget = greedy_leg ~start:src ~target:dst ~hops:0 in
@@ -173,6 +201,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         | [] -> Failed { hops = h; stuck_at = stuck; reason = No_live_neighbor }
         | y :: rest ->
             (* Travelling back to the previous node costs a hop. *)
+            if obs then Ftr_obs.Metrics.incr "route_backtracks_total";
             let h = h + 1 in
             on_hop y;
             if h >= max_hops then Failed { hops = h; stuck_at = y; reason = Hop_limit }
@@ -191,6 +220,24 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
             end
       in
       forward src 0 []
+  in
+  if obs then begin
+    (match outcome with
+    | Delivered { hops = h } ->
+        Ftr_obs.Metrics.incr "route_delivered_total";
+        Ftr_obs.Metrics.observe_int "route_hops" h
+    | Failed { hops = h; reason; _ } ->
+        Ftr_obs.Metrics.incr ~labels:[ ("reason", reason_label reason) ] "route_stuck_total";
+        Ftr_obs.Metrics.observe_int "route_hops" h);
+    Ftr_obs.Events.emit ~kind:"route.done"
+      [
+        ("src", Ftr_obs.Json.Int src);
+        ("dst", Ftr_obs.Json.Int dst);
+        ("delivered", Ftr_obs.Json.Bool (delivered outcome));
+        ("hops", Ftr_obs.Json.Int (hops outcome));
+      ]
+  end;
+  outcome
 
 (* Length of the walk after erasing every excursion: each revisit of a node
    truncates the walk back to its first visit. For a backtracking search

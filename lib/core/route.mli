@@ -41,6 +41,11 @@ type outcome =
 val delivered : outcome -> bool
 (** Whether the message reached its destination. *)
 
+val reason_label : reason -> string
+(** Stable snake_case name of a stuck reason, as used by the telemetry
+    labels (e.g. route_stuck_total{reason="no_live_neighbor"}) and the
+    [--json] CLI outputs. *)
+
 val hops : outcome -> int
 (** Hops consumed, delivered or not (backtracking steps count). *)
 

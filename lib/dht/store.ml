@@ -40,6 +40,7 @@ let replica_owners t key =
   collect 0 []
 
 let put t ~key ~value =
+  if Ftr_obs.Flag.enabled () then Ftr_obs.Metrics.incr "store_put_total";
   List.iter (fun o -> Hashtbl.replace t.tables.(o) key value) (replica_owners t key);
   (* Sanitizer hook: a put must land the key with its basin owner. *)
   if Ftr_debug.Debug.enabled () then begin
@@ -58,7 +59,12 @@ let get t ~key =
         | Some v -> Some v
         | None -> scan rest)
   in
-  scan (replica_owners t key)
+  let result = scan (replica_owners t key) in
+  if Ftr_obs.Flag.enabled () then
+    Ftr_obs.Metrics.incr
+      ~labels:[ ("result", match result with Some _ -> "hit" | None -> "miss") ]
+      "store_get_total";
+  result
 
 let remove t ~key =
   List.iter (fun o -> Hashtbl.remove t.tables.(o) key) (replica_owners t key)
@@ -122,4 +128,9 @@ let routed_get ?(failures = Failure.none) ?(strategy = Route.Terminate) ?rng t ~
         end
         else scan reached rest
   in
-  scan [] (replica_owners t key)
+  let r = scan [] (replica_owners t key) in
+  if Ftr_obs.Flag.enabled () then
+    Ftr_obs.Metrics.incr
+      ~labels:[ ("result", match r.value with Some _ -> "hit" | None -> "miss") ]
+      "store_get_total";
+  r

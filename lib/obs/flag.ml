@@ -1,0 +1,26 @@
+(* The telemetry switch. Mirrors [Ftr_debug.Debug]: sits below every
+   instrumented layer so hot paths (greedy hops, event dispatch, overlay
+   repairs) can guard their metric updates and event emissions on a single
+   mutable bool — one load and one branch when off, nothing allocated. The
+   collectors themselves live in [Metrics], [Span] and [Events]; this
+   module is the part every call site can afford to consult.
+
+   Enable with the environment variable FTR_OBS=1 (read once at start-up)
+   or programmatically via [set_mode]. *)
+
+let env_enabled =
+  match Sys.getenv_opt "FTR_OBS" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+let enabled_ref = ref env_enabled
+
+let enabled () = !enabled_ref
+
+let set_mode on = enabled_ref := on
+
+(* Run [f] with telemetry forced on (or off), restoring the previous mode. *)
+let with_mode on f =
+  let saved = !enabled_ref in
+  enabled_ref := on;
+  Fun.protect ~finally:(fun () -> enabled_ref := saved) f

@@ -120,6 +120,7 @@ let report overlay =
 let run ?config ?(seed = 42) ~line_size ~initial_nodes ~links () =
   if initial_nodes < 2 then invalid_arg "Churn.run: need at least two initial nodes";
   if initial_nodes > line_size then invalid_arg "Churn.run: more nodes than line points";
+  Ftr_obs.Span.time "churn.run" @@ fun () ->
   let rng = Rng.of_int seed in
   let engine = Engine.create () in
   let overlay = Overlay.create ~line_size ~links ~rng:(Rng.split rng) engine in

@@ -183,6 +183,15 @@ let consider_redirect t node ~newcomer =
         in
         match victim with
         | Some v ->
+            if Ftr_obs.Flag.enabled () then begin
+              Ftr_obs.Metrics.incr "overlay_link_redirects_total";
+              Ftr_obs.Events.emit ~time:(Engine.now t.engine) ~kind:"overlay.redirect"
+                [
+                  ("node", Ftr_obs.Json.Int node.pos);
+                  ("newcomer", Ftr_obs.Json.Int newcomer);
+                  ("evicted", Ftr_obs.Json.Int v);
+                ]
+            end;
             remove_long node v;
             add_long t node newcomer
         | None -> ()
@@ -279,18 +288,22 @@ and on_dead_neighbor t node ~dead ~target ~request ~hops =
    be used for regeneration of links when a node crashes"). Ring links are
    repaired by probing outward along the line. *)
 and drop_dead_link t node ~dead =
+  let obs = Ftr_obs.Flag.enabled () in
   if List.mem dead node.long then begin
     remove_long node dead;
     t.stats.repairs <- t.stats.repairs + 1;
+    if obs then Ftr_obs.Metrics.incr "overlay_link_repairs_total";
     regenerate_long_link t node
   end;
   if node.left = Some dead then begin
     node.left <- probe_ring t node ~from:dead ~dir:(-1);
-    t.stats.repairs <- t.stats.repairs + 1
+    t.stats.repairs <- t.stats.repairs + 1;
+    if obs then Ftr_obs.Metrics.incr "overlay_ring_repairs_total"
   end;
   if node.right = Some dead then begin
     node.right <- probe_ring t node ~from:dead ~dir:1;
-    t.stats.repairs <- t.stats.repairs + 1
+    t.stats.repairs <- t.stats.repairs + 1;
+    if obs then Ftr_obs.Metrics.incr "overlay_ring_repairs_total"
   end;
   if Ftr_debug.Debug.enabled () then debug_check_node t node
 
@@ -395,6 +408,7 @@ let bootstrap_node t ~pos =
   let node = { pos; alive = true; left = None; right = None; long = []; birth_order = [] } in
   Hashtbl.replace t.nodes pos node;
   t.stats.joins <- t.stats.joins + 1;
+  if Ftr_obs.Flag.enabled () then Ftr_obs.Metrics.incr "overlay_joins_total";
   node.pos
 
 let join t ~pos ~via =
@@ -406,6 +420,11 @@ let join t ~pos ~via =
   let node = { pos; alive = true; left = None; right = None; long = []; birth_order = [] } in
   Hashtbl.replace t.nodes pos node;
   t.stats.joins <- t.stats.joins + 1;
+  if Ftr_obs.Flag.enabled () then begin
+    Ftr_obs.Metrics.incr "overlay_joins_total";
+    Ftr_obs.Events.emit ~time:(Engine.now t.engine) ~kind:"overlay.join"
+      [ ("pos", Ftr_obs.Json.Int pos); ("via", Ftr_obs.Json.Int via) ]
+  end;
   Trace.infof t.trace ~time:(Engine.now t.engine) "join %d via %d" pos via;
   (* Step 1: find our place on the ring by looking up our own position. *)
   internal_lookup t ~from:via ~target:pos
@@ -452,6 +471,11 @@ let crash t ~pos =
   | Some node ->
       node.alive <- false;
       t.stats.crashes <- t.stats.crashes + 1;
+      if Ftr_obs.Flag.enabled () then begin
+        Ftr_obs.Metrics.incr "overlay_crashes_total";
+        Ftr_obs.Events.emit ~time:(Engine.now t.engine) ~kind:"overlay.crash"
+          [ ("pos", Ftr_obs.Json.Int pos) ]
+      end;
       Trace.infof t.trace ~time:(Engine.now t.engine) "crash %d" pos
 
 let leave t ~pos =
@@ -469,6 +493,11 @@ let leave t ~pos =
       | None, None -> ());
       node.alive <- false;
       t.stats.leaves <- t.stats.leaves + 1;
+      if Ftr_obs.Flag.enabled () then begin
+        Ftr_obs.Metrics.incr "overlay_leaves_total";
+        Ftr_obs.Events.emit ~time:(Engine.now t.engine) ~kind:"overlay.leave"
+          [ ("pos", Ftr_obs.Json.Int pos) ]
+      end;
       Trace.infof t.trace ~time:(Engine.now t.engine) "leave %d" pos
 
 (* Instantiate a whole network at time zero without paying the join

@@ -68,6 +68,14 @@ let rec step t =
             t.now;
         t.now <- ev.time;
         t.executed <- t.executed + 1;
+        (* Telemetry: dispatch count, queue depth and a (sampled) per-event
+           record. One bool load when FTR_OBS is off. *)
+        if Ftr_obs.Flag.enabled () then begin
+          Ftr_obs.Metrics.incr "engine_events_total";
+          Ftr_obs.Metrics.set_gauge "engine_queue_depth" (float_of_int (pending_events t));
+          Ftr_obs.Events.emit ~time:ev.time ~kind:"engine.event"
+            [ ("id", Ftr_obs.Json.Int ev.id); ("seq", Ftr_obs.Json.Int ev.seq) ]
+        end;
         ev.action ();
         true
       end
@@ -85,7 +93,8 @@ let run ?max_events ?until t =
           else if step t then loop (remaining - 1)
           else ()
   in
-  loop budget
+  if Ftr_obs.Flag.enabled () then Ftr_obs.Span.time "engine.run" (fun () -> loop budget)
+  else loop budget
 
 let drain t =
   Heap.clear t.heap;

@@ -7,6 +7,8 @@ type t = {
   mutable count : int;
   capacity : int;
   mutable min_level : level;
+  mutable dropped_below_level : int;
+  mutable dropped_by_eviction : int;
 }
 
 let level_rank = function Debug -> 0 | Info -> 1 | Warn -> 2
@@ -15,7 +17,14 @@ let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
 
 let create ?(capacity = 10_000) ?(min_level = Info) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
-  { entries = []; count = 0; capacity; min_level }
+  {
+    entries = [];
+    count = 0;
+    capacity;
+    min_level;
+    dropped_below_level = 0;
+    dropped_by_eviction = 0;
+  }
 
 let set_min_level t level = t.min_level <- level
 
@@ -31,9 +40,11 @@ let record t ~time ~level message =
         | x :: rest -> if n = 0 then List.rev acc else take (n - 1) (x :: acc) rest
       in
       t.entries <- take keep [] t.entries;
+      t.dropped_by_eviction <- t.dropped_by_eviction + (t.count - keep);
       t.count <- keep
     end
   end
+  else t.dropped_below_level <- t.dropped_below_level + 1
 
 let debugf t ~time fmt = Format.kasprintf (record t ~time ~level:Debug) fmt
 
@@ -44,6 +55,42 @@ let warnf t ~time fmt = Format.kasprintf (record t ~time ~level:Warn) fmt
 let entries t = List.rev t.entries
 
 let length t = t.count
+
+let dropped_below_level t = t.dropped_below_level
+
+let dropped_by_eviction t = t.dropped_by_eviction
+
+let dropped t = t.dropped_below_level + t.dropped_by_eviction
+
+let entry_to_json e =
+  Ftr_obs.Json.Obj
+    [
+      ("time", Ftr_obs.Json.Float e.time);
+      ("level", Ftr_obs.Json.String (level_name e.level));
+      ("message", Ftr_obs.Json.String e.message);
+    ]
+
+let to_json t =
+  Ftr_obs.Json.Obj
+    [
+      ("capacity", Ftr_obs.Json.Int t.capacity);
+      ("retained", Ftr_obs.Json.Int t.count);
+      ("dropped_below_level", Ftr_obs.Json.Int t.dropped_below_level);
+      ("dropped_by_eviction", Ftr_obs.Json.Int t.dropped_by_eviction);
+      ("entries", Ftr_obs.Json.List (List.map entry_to_json (entries t)));
+    ]
+
+(* Replay the retained entries into the structured event sink so a trace
+   joins the JSONL stream alongside route/engine/overlay events. *)
+let emit_events ?(kind = "trace") t =
+  List.iter
+    (fun e ->
+      Ftr_obs.Events.emit ~time:e.time ~kind
+        [
+          ("level", Ftr_obs.Json.String (level_name e.level));
+          ("message", Ftr_obs.Json.String e.message);
+        ])
+    (entries t)
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%10.4f %-5s] %s" e.time (level_name e.level) e.message

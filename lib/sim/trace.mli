@@ -33,5 +33,25 @@ val entries : t -> entry list
 val length : t -> int
 (** Number of retained entries. *)
 
+val dropped : t -> int
+(** Total entries lost: below [min_level] plus evicted at capacity. *)
+
+val dropped_below_level : t -> int
+(** Entries discarded because their level was below [min_level]. *)
+
+val dropped_by_eviction : t -> int
+(** Entries discarded when the buffer exceeded its capacity. *)
+
+val entry_to_json : entry -> Ftr_obs.Json.t
+(** One entry as a JSON object [{time; level; message}]. *)
+
+val to_json : t -> Ftr_obs.Json.t
+(** The whole trace — capacity, retention, drop counts and retained
+    entries — as one JSON object, for joining the JSONL event stream. *)
+
+val emit_events : ?kind:string -> t -> unit
+(** Replay the retained entries into [Ftr_obs.Events] (default kind
+    ["trace"]); a no-op when telemetry is off or no sink is installed. *)
+
 val dump : Format.formatter -> t -> unit
 (** Print all retained entries, one per line. *)

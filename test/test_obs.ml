@@ -1,0 +1,464 @@
+module Flag = Ftr_obs.Flag
+module Json = Ftr_obs.Json
+module Metrics = Ftr_obs.Metrics
+module Span = Ftr_obs.Span
+module Events = Ftr_obs.Events
+module Export = Ftr_obs.Export
+module Network = Ftr_core.Network
+module Route = Ftr_core.Route
+module Rng = Ftr_prng.Rng
+
+(* Every test that turns telemetry on runs inside [Flag.with_mode true]
+   so the global flag is restored even on failure; the registries are
+   global too, so tests reset what they touch. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_counters () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  Metrics.incr ~registry:r "requests";
+  Metrics.incr ~registry:r "requests";
+  Metrics.incr_by ~registry:r "requests" 3;
+  Alcotest.(check int) "accumulates" 5 (Metrics.counter_value ~registry:r "requests");
+  Alcotest.(check int) "absent reads zero" 0 (Metrics.counter_value ~registry:r "nope");
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.incr_by: counters only go up") (fun () ->
+      Metrics.incr_by ~registry:r "requests" (-1))
+
+let metrics_labels () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  Metrics.incr ~registry:r ~labels:[ ("reason", "stuck") ] "fail";
+  Metrics.incr ~registry:r ~labels:[ ("reason", "stuck") ] "fail";
+  Metrics.incr ~registry:r ~labels:[ ("reason", "limit") ] "fail";
+  (* Label order must not split a series. *)
+  Metrics.incr ~registry:r ~labels:[ ("b", "2"); ("a", "1") ] "pair";
+  Metrics.incr ~registry:r ~labels:[ ("a", "1"); ("b", "2") ] "pair";
+  Alcotest.(check int) "stuck series" 2
+    (Metrics.counter_value ~registry:r ~labels:[ ("reason", "stuck") ] "fail");
+  Alcotest.(check int) "limit series" 1
+    (Metrics.counter_value ~registry:r ~labels:[ ("reason", "limit") ] "fail");
+  Alcotest.(check int) "label order canonicalised" 2
+    (Metrics.counter_value ~registry:r ~labels:[ ("b", "2"); ("a", "1") ] "pair")
+
+let metrics_gauges () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  Alcotest.(check bool) "absent gauge is nan" true
+    (Float.is_nan (Metrics.gauge_value ~registry:r "depth"));
+  Metrics.set_gauge ~registry:r "depth" 4.0;
+  Metrics.set_gauge ~registry:r "depth" 7.5;
+  Alcotest.(check (float 1e-9)) "last write wins" 7.5 (Metrics.gauge_value ~registry:r "depth")
+
+let metrics_kind_clash () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  Metrics.incr ~registry:r "x";
+  (match Metrics.set_gauge ~registry:r "x" 1.0 with
+  | () -> Alcotest.fail "expected a kind clash to raise"
+  | exception Invalid_argument _ -> ());
+  match Metrics.observe ~registry:r "x" 1.0 with
+  | () -> Alcotest.fail "expected a kind clash to raise"
+  | exception Invalid_argument _ -> ()
+
+let metrics_histogram () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  List.iter (fun v -> Metrics.observe ~registry:r "lat" v) [ 0.5; 1.0; 2.0; 3.0; 100.0 ];
+  let items = Metrics.snapshot ~registry:r () in
+  Alcotest.(check int) "one item" 1 (List.length items);
+  match (List.hd items).Metrics.item_view with
+  | Metrics.Histogram_view h ->
+      Alcotest.(check int) "count" 5 h.Metrics.h_count;
+      Alcotest.(check (float 1e-9)) "sum" 106.5 h.Metrics.h_sum;
+      Alcotest.(check (float 1e-9)) "min" 0.5 h.Metrics.h_min;
+      Alcotest.(check (float 1e-9)) "max" 100.0 h.Metrics.h_max;
+      Alcotest.(check int) "bucket counts cover every observation" 5
+        (List.fold_left (fun acc (_, c) -> acc + c) 0 h.Metrics.h_buckets)
+  | _ -> Alcotest.fail "expected a histogram view"
+
+let metrics_reset () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  Metrics.incr ~registry:r "a";
+  Metrics.set_gauge ~registry:r "b" 1.0;
+  Metrics.reset r;
+  Alcotest.(check int) "empty after reset" 0 (Metrics.size ~registry:r ())
+
+(* Bucket counts sum to the number of observations, whatever we throw at
+   the log-scale bucketing. *)
+let histogram_property =
+  QCheck.Test.make ~name:"histogram buckets partition the observations" ~count:200
+    QCheck.(list (int_range 0 10_000_000))
+    (fun values ->
+      Flag.with_mode true @@ fun () ->
+      let r = Metrics.create () in
+      List.iter (fun v -> Metrics.observe_int ~registry:r "h" v) values;
+      match Metrics.snapshot ~registry:r () with
+      | [] -> values = []
+      | [ { Metrics.item_view = Metrics.Histogram_view h; _ } ] ->
+          h.Metrics.h_count = List.length values
+          && List.fold_left (fun acc (_, c) -> acc + c) 0 h.Metrics.h_buckets
+             = List.length values
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Span profiler                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let with_fake_clock f =
+  let fake = ref 0.0 in
+  Span.set_clock (fun () -> !fake);
+  Span.reset ();
+  let finally () =
+    Span.reset ();
+    Span.set_clock (fun () -> Unix.gettimeofday ())
+  in
+  Fun.protect ~finally (fun () -> f fake)
+
+let span_nesting () =
+  with_fake_clock @@ fun fake ->
+  Flag.with_mode true @@ fun () ->
+  Span.enter "outer";
+  fake := 1.0;
+  Span.enter "inner";
+  Alcotest.(check int) "two open spans" 2 (Span.depth ());
+  fake := 3.0;
+  Span.leave "inner";
+  fake := 6.0;
+  Span.leave "outer";
+  Alcotest.(check int) "all closed" 0 (Span.depth ());
+  (match Span.find "inner" with
+  | Some s ->
+      Alcotest.(check int) "inner count" 1 s.Span.count;
+      Alcotest.(check (float 1e-9)) "inner total" 2.0 s.Span.total
+  | None -> Alcotest.fail "inner span not recorded");
+  match Span.find "outer" with
+  | Some s -> Alcotest.(check (float 1e-9)) "outer total includes inner" 6.0 s.Span.total
+  | None -> Alcotest.fail "outer span not recorded"
+
+let span_mismatch () =
+  with_fake_clock @@ fun _fake ->
+  Flag.with_mode true @@ fun () ->
+  Span.enter "a";
+  match Span.leave "b" with
+  | () -> Alcotest.fail "mismatched leave must raise"
+  | exception Invalid_argument _ -> ()
+
+let span_percentiles () =
+  with_fake_clock @@ fun fake ->
+  Flag.with_mode true @@ fun () ->
+  for i = 1 to 100 do
+    let start = !fake in
+    Span.time "work" (fun () -> fake := start +. float_of_int i)
+  done;
+  match Span.find "work" with
+  | None -> Alcotest.fail "span not recorded"
+  | Some s ->
+      Alcotest.(check int) "count" 100 s.Span.count;
+      Alcotest.(check (float 1e-6)) "total" 5050.0 s.Span.total;
+      Alcotest.(check (float 1e-6)) "min" 1.0 s.Span.min_s;
+      Alcotest.(check (float 1e-6)) "max" 100.0 s.Span.max_s;
+      Alcotest.(check bool) "p50 in the middle" true (s.Span.p50 >= 45.0 && s.Span.p50 <= 55.0);
+      Alcotest.(check bool) "p99 near the top" true (s.Span.p99 >= 95.0 && s.Span.p99 <= 100.0);
+      Alcotest.(check bool) "p50 below p99" true (s.Span.p50 < s.Span.p99)
+
+let span_time_propagates () =
+  with_fake_clock @@ fun _fake ->
+  Flag.with_mode true @@ fun () ->
+  Alcotest.(check int) "returns the body's value" 41 (Span.time "ret" (fun () -> 41));
+  (match Span.time "boom" (fun () -> failwith "inner") with
+  | _ -> Alcotest.fail "exception must propagate"
+  | exception Failure m -> Alcotest.(check string) "original exception" "inner" m);
+  Alcotest.(check int) "stack unwound after the exception" 0 (Span.depth ())
+
+(* ------------------------------------------------------------------ *)
+(* Event sink                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let events_jsonl () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sampling ~every:1;
+  let (), out =
+    Events.with_buffer (fun () ->
+        Events.emit ~kind:"test"
+          [ ("msg", Json.String "quote\" back\\slash\nnewline\ttab \x01 control") ];
+        Events.emit ~time:1.25 ~kind:"test"
+          [ ("n", Json.Int 42); ("x", Json.Float 0.5); ("flag", Json.Bool true) ])
+  in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj fields ->
+          Alcotest.(check bool) "kind field present" true (List.mem_assoc "kind" fields)
+      | _ -> Alcotest.fail "event line is not an object"
+      | exception Json.Parse_error m -> Alcotest.fail ("malformed JSONL line: " ^ m))
+    lines;
+  (* The tricky string survives a round trip through the encoder+parser. *)
+  match Json.member "msg" (Json.parse (List.hd lines)) with
+  | Some (Json.String s) ->
+      Alcotest.(check string) "string round trip"
+        "quote\" back\\slash\nnewline\ttab \x01 control" s
+  | _ -> Alcotest.fail "msg field lost"
+
+let events_sampling () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sampling ~every:3;
+  let finally () = Events.set_sampling ~every:1 in
+  Fun.protect ~finally @@ fun () ->
+  let (), out =
+    Events.with_buffer (fun () ->
+        for i = 1 to 7 do
+          Events.emit ~kind:"tick" [ ("i", Json.Int i) ]
+        done)
+  in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  Alcotest.(check int) "1st, 4th and 7th kept" 3 (List.length lines);
+  Alcotest.(check int) "emitted counter" 3 (Events.emitted ());
+  Alcotest.(check int) "suppressed counter" 4 (Events.suppressed ());
+  let kept =
+    List.map
+      (fun line ->
+        match Json.member "i" (Json.parse line) with Some (Json.Int i) -> i | _ -> -1)
+      lines
+  in
+  Alcotest.(check (list int)) "deterministic choice" [ 1; 4; 7 ] kept
+
+let events_off_without_sink () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sink None;
+  Events.emit ~kind:"void" [];
+  Alcotest.(check int) "nothing emitted without a sink" 0 (Events.emitted ())
+
+(* ------------------------------------------------------------------ *)
+(* Disabled-overhead smoke check                                       *)
+(* ------------------------------------------------------------------ *)
+
+let disabled_overhead () =
+  Flag.with_mode false @@ fun () ->
+  Metrics.reset Metrics.default;
+  Span.reset ();
+  (* The guard itself must not allocate: a loop of flag checks moves the
+     minor allocation pointer by (about) nothing. *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 50_000 do
+    if Flag.enabled () then Metrics.incr "never";
+    Span.enter "never";
+    Span.leave "never"
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "guarded loop allocates nothing (%.0f minor words)" delta)
+    true (delta < 256.0);
+  (* Instrumented hot paths leave no trace in the registries when off. *)
+  let rng = Rng.of_int 7 in
+  let net = Network.build_ideal ~n:256 ~links:4 rng in
+  for _ = 1 to 32 do
+    ignore
+      (Route.route ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src:(Rng.int rng 256)
+         ~dst:(Rng.int rng 256))
+  done;
+  Alcotest.(check int) "metrics registry untouched" 0 (Metrics.size ());
+  Alcotest.(check (list string)) "no spans recorded" []
+    (List.map (fun s -> s.Span.span_name) (Span.stats ()))
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation end to end                                          *)
+(* ------------------------------------------------------------------ *)
+
+let route_instrumentation () =
+  Flag.with_mode true @@ fun () ->
+  Metrics.reset Metrics.default;
+  Span.reset ();
+  Events.reset ();
+  let rng = Rng.of_int 11 in
+  let (), out =
+    Events.with_buffer (fun () ->
+        let net = Network.build_ideal ~n:256 ~links:4 rng in
+        for _ = 1 to 20 do
+          let src = Rng.int rng 256 and dst = Rng.int rng 256 in
+          if src <> dst then ignore (Route.route ~rng net ~src ~dst)
+        done)
+  in
+  let hops_count =
+    List.fold_left
+      (fun acc it ->
+        match it.Metrics.item_view with
+        | Metrics.Histogram_view h when it.Metrics.item_name = "route_hops" ->
+            acc + h.Metrics.h_count
+        | _ -> acc)
+      0 (Metrics.snapshot ())
+  in
+  Alcotest.(check bool) "route_hops recorded" true (hops_count > 0);
+  Alcotest.(check bool) "network build span recorded" true
+    (Span.find "network.build_ideal" <> None);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "event line is not an object")
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' out))
+
+let export_formats () =
+  Flag.with_mode true @@ fun () ->
+  let r = Metrics.create () in
+  Metrics.incr ~registry:r ~labels:[ ("reason", "stuck") ] "fails";
+  Metrics.set_gauge ~registry:r "depth" 3.0;
+  Metrics.observe ~registry:r "lat" 2.5;
+  let json = Export.json_snapshot ~registry:r () in
+  (* The snapshot itself must be parseable by our own parser. *)
+  (match Json.parse (Json.to_string json) with
+  | Json.Obj fields ->
+      List.iter
+        (fun k -> Alcotest.(check bool) (k ^ " key present") true (List.mem_assoc k fields))
+        [ "counters"; "gauges"; "histograms"; "spans" ]
+  | _ -> Alcotest.fail "snapshot is not an object");
+  let prom = Export.prometheus ~registry:r () in
+  Alcotest.(check bool) "prometheus has type lines" true
+    (String.length prom > 0
+    && List.exists
+         (fun l -> String.length l >= 6 && String.sub l 0 6 = "# TYPE")
+         (String.split_on_char '\n' prom));
+  let text = Export.text_report ~registry:r () in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "text report mentions the counter" true
+    (contains text "fails{reason=\"stuck\"}")
+
+(* ------------------------------------------------------------------ *)
+(* Trace drop accounting and JSON (satellite)                          *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Ftr_sim.Trace
+
+let trace_drop_counts () =
+  let t = Trace.create ~capacity:2 ~min_level:Trace.Info () in
+  Trace.debugf t ~time:0.5 "below level";
+  Trace.infof t ~time:1.0 "one";
+  Trace.infof t ~time:2.0 "two";
+  (* Overflow sheds down to capacity/2 (amortised batch eviction), so the
+     third entry evicts two and one survives. *)
+  Trace.infof t ~time:3.0 "three";
+  Alcotest.(check int) "below level" 1 (Trace.dropped_below_level t);
+  Alcotest.(check int) "evicted" 2 (Trace.dropped_by_eviction t);
+  Alcotest.(check int) "total dropped" 3 (Trace.dropped t);
+  Alcotest.(check int) "retained" 1 (Trace.length t);
+  match Trace.entries t with
+  | [ e ] -> Alcotest.(check string) "newest survives" "three" e.Trace.message
+  | _ -> Alcotest.fail "expected exactly one retained entry"
+
+let trace_to_json () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.infof t ~time:1.0 "hello %d" 42;
+  Trace.warnf t ~time:2.0 "tricky \"quote\"";
+  let j = Trace.to_json t in
+  match Json.parse (Json.to_string j) with
+  | Json.Obj _ as parsed -> (
+      (match Json.member "retained" parsed with
+      | Some (Json.Int 2) -> ()
+      | _ -> Alcotest.fail "retained count wrong");
+      match Json.member "entries" parsed with
+      | Some (Json.List [ _; second ]) -> (
+          match Json.member "message" second with
+          | Some (Json.String m) -> Alcotest.(check string) "message survives" "tricky \"quote\"" m
+          | _ -> Alcotest.fail "entry message missing")
+      | _ -> Alcotest.fail "entries list wrong")
+  | _ -> Alcotest.fail "trace json is not an object"
+
+let trace_emit_events () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sampling ~every:1;
+  let t = Trace.create () in
+  Trace.infof t ~time:1.0 "replayed";
+  let (), out = Events.with_buffer (fun () -> Trace.emit_events t) in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  Alcotest.(check int) "one event per entry" 1 (List.length lines);
+  match Json.member "kind" (Json.parse (List.hd lines)) with
+  | Some (Json.String "trace") -> ()
+  | _ -> Alcotest.fail "default kind wrong"
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_round_trip =
+  let rec normalise = function
+    | Json.List l -> Json.List (List.map normalise l)
+    | Json.Obj l -> Json.Obj (List.map (fun (k, v) -> (k, normalise v)) l)
+    | v -> v
+  in
+  QCheck.Test.make ~name:"json int/string round trip" ~count:300
+    QCheck.(pair (list small_int) (list printable_string))
+    (fun (ints, strings) ->
+      let v =
+        Json.Obj
+          [
+            ("ints", Json.List (List.map (fun i -> Json.Int i) ints));
+            ("strings", Json.List (List.map (fun s -> Json.String s) strings));
+          ]
+      in
+      normalise (Json.parse (Json.to_string v)) = normalise v)
+
+let json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.fail (Printf.sprintf "parser accepted %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{\"a\" 1}" ]
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          quick "counters" metrics_counters;
+          quick "labelled series" metrics_labels;
+          quick "gauges" metrics_gauges;
+          quick "kind clash rejected" metrics_kind_clash;
+          quick "histogram views" metrics_histogram;
+          quick "reset" metrics_reset;
+          QCheck_alcotest.to_alcotest histogram_property;
+        ] );
+      ( "span",
+        [
+          quick "nesting" span_nesting;
+          quick "mismatched leave" span_mismatch;
+          quick "percentiles" span_percentiles;
+          quick "time returns and unwinds" span_time_propagates;
+        ] );
+      ( "events",
+        [
+          quick "jsonl well-formed" events_jsonl;
+          quick "deterministic sampling" events_sampling;
+          quick "silent without sink" events_off_without_sink;
+        ] );
+      ( "overhead",
+        [ quick "disabled paths do not allocate or record" disabled_overhead ] );
+      ( "integration",
+        [
+          quick "route feeds metrics, spans and events" route_instrumentation;
+          quick "export formats" export_formats;
+        ] );
+      ( "trace",
+        [
+          quick "drop accounting" trace_drop_counts;
+          quick "to_json" trace_to_json;
+          quick "emit_events" trace_emit_events;
+        ] );
+      ( "json",
+        [ json_rejects |> quick "parser rejects malformed"; QCheck_alcotest.to_alcotest json_round_trip ] );
+    ]
