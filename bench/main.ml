@@ -22,15 +22,7 @@ let full = match Sys.getenv_opt "FTR_BENCH_FULL" with Some ("1" | "true") -> tru
 (* Set FTR_BENCH_CSV=<dir> to also export every table as CSV. *)
 let csv_dir = Sys.getenv_opt "FTR_BENCH_CSV"
 
-(* [Sys.mkdir] has no -p: a nested FTR_BENCH_CSV like out/2026/bench used
-   to fail with ENOENT. Create the ancestry leaf-last; racing creators are
-   harmless (the final existence check is what matters). *)
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir && parent <> "" then mkdir_p parent;
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
+let mkdir_p = Ftr_stats.Csv.mkdir_p
 
 let csv name ~header ~rows =
   match csv_dir with
@@ -42,6 +34,17 @@ let csv name ~header ~rows =
       Printf.printf "[csv] wrote %s\n%!" path
 
 let seed = 0xF7A
+
+(* --jobs N: worker domains for the EXEC section (default: the host's
+   recommended domain count). The executor's contract makes this a pure
+   wall-clock knob — results never move. *)
+let jobs_flag =
+  let rec scan i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--jobs" then int_of_string_opt Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
 
 let section title =
   Printf.printf "\n=============================================================\n";
@@ -835,6 +838,84 @@ let run_churn () =
      repair traffic — maintenance cost is where churn bites, not lookups.\n%!"
 
 (* ------------------------------------------------------------------ *)
+(* Exec subsystem: multicore speedup on the experiment drivers          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each driver runs twice — jobs=1, then --jobs N — on identical
+   arguments; the executor guarantees identical output (verified here
+   with a structural comparison, and byte-for-byte in the test suite),
+   so the only difference is the wall clock. The numbers land in
+   BENCH_exec.json for machines to read. *)
+let run_exec () =
+  let jobs = match jobs_flag with Some j -> j | None -> Ftr_exec.Pool.default_jobs () in
+  section
+    (Printf.sprintf
+       "EXEC — deterministic multicore executor (--jobs %d; host recommends %d domains)\n\
+        output is jobs-invariant by contract; parallelism only moves the wall clock" jobs
+       (Domain.recommended_domain_count ()));
+  let rows = ref [] in
+  let bench name seq par =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r1, t1 = time seq in
+    let rj, tj = time par in
+    let speedup = t1 /. tj in
+    Printf.printf "%28s: jobs=1 %7.2f s, jobs=%d %7.2f s, speedup %5.2fx%s\n%!" name t1 jobs tj
+      speedup
+      (if r1 = rj then "" else "  [OUTPUT MISMATCH]");
+    rows := (name, t1, tj, r1 = rj) :: !rows
+  in
+  let networks = if full then 8 else 4 in
+  let messages = if full then 300 else 150 in
+  let n = if full then 1 lsl 13 else 1 lsl 12 in
+  bench "table1 grid (9 sections)"
+    (fun () ->
+      E.table1_grid ~jobs:1 ~ns:[ 256; 1024; 4096 ] ~big:n ~networks:2 ~messages:100 ~trials:100
+        ~seed ())
+    (fun () ->
+      E.table1_grid ~jobs ~ns:[ 256; 1024; 4096 ] ~big:n ~networks:2 ~messages:100 ~trials:100
+        ~seed ());
+  bench "figure5 networks"
+    (fun () -> E.figure5_par ~jobs:1 ~networks ~n ~links:12 ~seed ())
+    (fun () -> E.figure5_par ~jobs ~networks ~n ~links:12 ~seed ());
+  bench "figure6 (fractions x nets)"
+    (fun () ->
+      E.figure6_par ~jobs:1 ~n ~networks:2 ~messages ~fractions:[ 0.0; 0.3; 0.6 ] ~seed ())
+    (fun () ->
+      E.figure6_par ~jobs ~n ~networks:2 ~messages ~fractions:[ 0.0; 0.3; 0.6 ] ~seed ());
+  let open Ftr_obs.Json in
+  let report =
+    Obj
+      [
+        ("jobs", Int jobs);
+        ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+        ("full_scale", Bool full);
+        ( "sections",
+          List
+            (List.rev_map
+               (fun (name, t1, tj, same) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ("jobs1_seconds", Float t1);
+                     ("jobsN_seconds", Float tj);
+                     ("speedup", Float (t1 /. tj));
+                     ("output_identical", Bool same);
+                   ])
+               !rows) );
+      ]
+  in
+  let path = "BENCH_exec.json" in
+  let oc = open_out path in
+  output_string oc (to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[exec] wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -920,6 +1001,7 @@ let () =
   run_section "bench.figure6" run_figure6;
   run_section "bench.figure7" run_figure7;
   run_section "bench.table1" run_table1;
+  run_section "bench.exec" run_exec;
   run_section "bench.lower_bound" run_lower_bound_machinery;
   run_section "bench.ablations" run_ablations;
   run_section "bench.extensions" run_extensions;

@@ -52,6 +52,12 @@ let json_t =
     value & flag
     & info [ "json" ] ~doc:"Emit machine-readable JSON instead of the human-readable table.")
 
+let strategy_of_string = function
+  | "terminate" -> Route.Terminate
+  | "reroute" -> Route.Random_reroute { attempts = 1 }
+  | "backtrack" -> Route.Backtrack { history = 5 }
+  | s -> failwith (Printf.sprintf "unknown strategy %S" s)
+
 (* route *)
 
 let route_cmd =
@@ -60,13 +66,7 @@ let route_cmd =
     let rng = Rng.of_int seed in
     let net = Network.build_ideal ~n ~links rng in
     let src = ((src mod n) + n) mod n and dst = ((dst mod n) + n) mod n in
-    let strategy =
-      match strategy with
-      | "terminate" -> Route.Terminate
-      | "reroute" -> Route.Random_reroute { attempts = 1 }
-      | "backtrack" -> Route.Backtrack { history = 5 }
-      | s -> failwith (Printf.sprintf "unknown strategy %S" s)
-    in
+    let strategy = strategy_of_string strategy in
     let failures, live_guard =
       if fraction > 0.0 then begin
         let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction in
@@ -667,6 +667,9 @@ let check_cmd =
       Ftr_dht.Store.put st ~key:(Printf.sprintf "key-%d" i) ~value:(string_of_int i)
     done;
     report "store: key placement" (Check.store ~complete:true st);
+    (* Exec subsystem: merged sweep results must not depend on the worker
+       count, and per-job streams must be distinct and root-free. *)
+    report "exec: deterministic merge" (Check.exec ~seed ());
     if !total = 0 then
       Printf.printf "all %d check sections passed (0 violations)\n" !sections
     else begin
@@ -681,6 +684,277 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Run the invariant sanitizer battery over builders, routes, simulator and DHT")
     Term.(const run $ n_t 1024 $ links_t $ seed_t $ verbose_t)
+
+(* sweep *)
+
+module Sweep = Ftr_exec.Sweep
+module Json = Ftr_obs.Json
+module Summary = Ftr_stats.Summary
+
+(* The checkpoint codec renders floats by their IEEE-754 bit pattern so a
+   resumed sweep decodes *exactly* what the interrupted run computed —
+   Json.Float's %.12g rendering is lossy, and the resume acceptance test
+   compares output byte for byte. NaN (mean hops when nothing was
+   delivered) round-trips too. *)
+let bits f = Json.String (Printf.sprintf "%Lx" (Int64.bits_of_float f))
+
+let of_bits = function
+  | Some (Json.String s) -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some b -> Some (Int64.float_of_bits b)
+      | None -> None)
+  | Some _ | None -> None
+
+let encode_measurement (m : E.measurement) =
+  Json.Obj
+    [
+      ("failed", bits m.E.failed_fraction);
+      ("hops", bits m.E.mean_hops);
+      ("ci95", bits m.E.hops_ci95);
+      ("path", bits m.E.mean_path_hops);
+      ("messages", Json.Int m.E.messages);
+    ]
+
+let decode_measurement j =
+  match
+    ( of_bits (Json.member "failed" j),
+      of_bits (Json.member "hops" j),
+      of_bits (Json.member "ci95" j),
+      of_bits (Json.member "path" j),
+      Json.member "messages" j )
+  with
+  | Some failed_fraction, Some mean_hops, Some hops_ci95, Some mean_path_hops, Some (Json.Int messages)
+    ->
+      Some { E.failed_fraction; mean_hops; hops_ci95; mean_path_hops; messages }
+  | _ -> None
+
+let sweep_cmd =
+  let run ns links_list fails networks messages strategy seed jobs checkpoint resume csv_path
+      json selfcheck =
+    if resume && checkpoint = None then begin
+      Printf.eprintf "p2psim sweep: --resume needs --checkpoint FILE\n";
+      exit 2
+    end;
+    let strategy = strategy_of_string strategy in
+    let resolve n l = if l = 0 then int_of_float (Theory.lg n) else l in
+    (* The grid is the job decomposition: (n, links, fail) points with the
+       [networks] replicates as the innermost axis, so a point's replicates
+       occupy consecutive job indices whatever the worker count. *)
+    let points = Sweep.grid3 ns links_list fails in
+    let sweep =
+      Sweep.create
+        ~run:(fun ~index:_ ~rng (n, links, fraction, _rep) ->
+          let links = resolve n links in
+          let net = Network.build_ideal ~n ~links rng in
+          let failures =
+            if fraction > 0.0 then
+              Ftr_core.Failure.of_node_mask
+                (Ftr_core.Failure.random_node_fraction rng ~n ~fraction)
+            else Ftr_core.Failure.none
+          in
+          let pairs = E.random_live_pairs rng failures ~n ~messages in
+          E.measure ~failures ~strategy ~pairs ~messages ~rng net)
+        (Sweep.grid4 ns links_list fails (List.init networks Fun.id))
+    in
+    let run_plain ?jobs () = Sweep.run ?jobs ~seed sweep in
+    let serialize rs =
+      String.concat "\n" (Array.to_list (Array.map (fun m -> Json.to_string (encode_measurement m)) rs))
+    in
+    if selfcheck then begin
+      (* The acceptance gate for the exec subsystem: the merged output must
+         be byte-identical across worker counts and the sequential
+         fallback, and resuming a truncated checkpoint must reproduce the
+         uninterrupted run. Exit 1 on any divergence. *)
+      let problems = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+      let reference = serialize (run_plain ~jobs:1 ()) in
+      List.iter
+        (fun jobs ->
+          if serialize (run_plain ~jobs ()) <> reference then
+            fail "jobs=%d output differs from the jobs=1 reference" jobs)
+        [ 2; 4 ];
+      Unix.putenv "FTR_EXEC_SEQ" "1";
+      if serialize (run_plain ()) <> reference then
+        fail "FTR_EXEC_SEQ=1 output differs from the jobs=1 reference";
+      Unix.putenv "FTR_EXEC_SEQ" "0";
+      let path = Filename.temp_file "ftr_sweep_selfcheck" ".jsonl" in
+      let run_ck ~fresh =
+        Sweep.run_checkpointed ~wave:2 ~fresh ~path ~seed ~encode:encode_measurement
+          ~decode:decode_measurement sweep
+      in
+      if serialize (run_ck ~fresh:true) <> reference then
+        fail "checkpointed output differs from the plain run";
+      (* Simulate a kill mid-sweep: drop the journal's last two records,
+         then resume. *)
+      let lines = In_channel.with_open_text path In_channel.input_lines in
+      let keep = max 1 (List.length lines - 2) in
+      Out_channel.with_open_text path (fun oc ->
+          List.iteri
+            (fun i l ->
+              if i < keep then begin
+                output_string oc l;
+                output_char oc '\n'
+              end)
+            lines);
+      let resumed = serialize (run_ck ~fresh:false) in
+      Sys.remove path;
+      if resumed <> reference then fail "resume from a truncated checkpoint diverged";
+      match !problems with
+      | [] ->
+          print_endline
+            "sweep selfcheck passed (jobs=1/2/4, FTR_EXEC_SEQ=1 and checkpoint resume all \
+             byte-identical)"
+      | ps ->
+          List.iter (Printf.eprintf "sweep selfcheck: %s\n") (List.rev ps);
+          exit 1
+    end
+    else begin
+      let results =
+        match checkpoint with
+        | Some path ->
+            Sweep.run_checkpointed ?jobs ~fresh:(not resume) ~path ~seed
+              ~encode:encode_measurement ~decode:decode_measurement sweep
+        | None -> run_plain ?jobs ()
+      in
+      (* Replicates are consecutive (innermost axis), so folding slice
+         [pi * networks, (pi+1) * networks) aggregates point [pi]. *)
+      let rows =
+        List.mapi
+          (fun pi (n, links0, fraction) ->
+            let failed = Summary.create () in
+            let hops = Summary.create () in
+            let path_s = Summary.create () in
+            for k = 0 to networks - 1 do
+              let m = results.((pi * networks) + k) in
+              Summary.add failed m.E.failed_fraction;
+              if not (Float.is_nan m.E.mean_hops) then begin
+                Summary.add hops m.E.mean_hops;
+                Summary.add path_s m.E.mean_path_hops
+              end
+            done;
+            ( n,
+              resolve n links0,
+              fraction,
+              Summary.mean failed,
+              Summary.mean hops,
+              Summary.mean path_s ))
+          points
+      in
+      (match csv_path with
+      | Some path ->
+          let dir = Filename.dirname path in
+          if dir <> "" && dir <> "." then Ftr_stats.Csv.mkdir_p dir;
+          Ftr_stats.Csv.write_file ~path
+            ~header:[ "nodes"; "links"; "fail"; "failed"; "hops"; "path_hops" ]
+            ~rows:
+              (List.map
+                 (fun (n, links, fraction, failed, hops, path) ->
+                   Ftr_stats.Csv.
+                     [
+                       int_field n; int_field links; float_field fraction; float_field failed;
+                       float_field hops; float_field path;
+                     ])
+                 rows);
+          Printf.printf "wrote %s (%d rows, %d jobs)\n" path (List.length rows) (Sweep.size sweep)
+      | None -> ());
+      if json then begin
+        let jf x = if Float.is_nan x then Json.String "nan" else Json.Float x in
+        print_endline
+          (Json.to_string
+             (Json.List
+                (List.map
+                   (fun (n, links, fraction, failed, hops, path) ->
+                     Json.Obj
+                       [
+                         ("nodes", Json.Int n);
+                         ("links", Json.Int links);
+                         ("fail", jf fraction);
+                         ("failed", jf failed);
+                         ("hops", jf hops);
+                         ("path_hops", jf path);
+                       ])
+                   rows)))
+      end
+      else if csv_path = None then begin
+        Printf.printf "%8s %6s %6s | %10s %10s %10s   (%d networks x %d messages per point)\n"
+          "nodes" "links" "fail" "failed" "hops" "path" networks messages;
+        List.iter
+          (fun (n, links, fraction, failed, hops, path) ->
+            Printf.printf "%8d %6d %6.2f | %10.4f %10.2f %10.2f\n" n links fraction failed hops
+              path)
+          rows
+      end
+    end
+  in
+  let ns_t =
+    Arg.(
+      value
+      & opt (list int) [ 1024 ]
+      & info [ "nodes"; "n" ] ~docv:"N,..." ~doc:"Grid axis: node counts.")
+  in
+  let links_t =
+    Arg.(
+      value
+      & opt (list int) [ 0 ]
+      & info [ "links" ] ~docv:"L,..." ~doc:"Grid axis: long links per node (0 means lg N).")
+  in
+  let fails_t =
+    Arg.(
+      value
+      & opt (list float) [ 0.0 ]
+      & info [ "fail" ] ~docv:"P,..." ~doc:"Grid axis: node-failure fractions.")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "backtrack"
+      & info [ "strategy" ] ~docv:"S" ~doc:"terminate | reroute | backtrack.")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Worker domains (default: the recommended domain count; never changes the output, \
+             only the wall clock).")
+  in
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Journal completed jobs to FILE (JSONL) so the sweep survives a kill.")
+  in
+  let resume_t =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the --checkpoint journal: jobs already recorded are decoded, not \
+             re-run. Without this flag an existing journal is overwritten.")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the aggregated rows to FILE as CSV.")
+  in
+  let selfcheck_t =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Run the grid under jobs=1/2/4 and FTR_EXEC_SEQ=1, plus a truncated checkpoint \
+             resume, and demand byte-identical output everywhere. Exit 1 on any divergence.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a (nodes x links x fail) measurement grid on the multicore executor, \
+          deterministically")
+    Term.(
+      const run $ ns_t $ links_t $ fails_t $ networks_t 3 $ messages_t 100 $ strategy_t $ seed_t
+      $ jobs_t $ checkpoint_t $ resume_t $ csv_t $ json_t $ selfcheck_t)
 
 let () =
   let info =
@@ -704,4 +978,5 @@ let () =
             churn_cmd;
             report_cmd;
             check_cmd;
+            sweep_cmd;
           ]))

@@ -17,6 +17,9 @@ module Engine = Ftr_sim.Engine
 module Overlay = Ftr_p2p.Overlay
 module Store = Ftr_dht.Store
 module Gof = Ftr_stats.Gof
+module Pool = Ftr_exec.Pool
+module Seed = Ftr_exec.Seed
+module Rng = Ftr_prng.Rng
 
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
@@ -510,6 +513,65 @@ let overlay ?(strict_ring = false) (o : Overlay.t) =
                    (pp_opt v.view_right) (pp_opt expect_right)))
       live
   end;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Exec subsystem (Ftr_exec): scheduling-invariant merged results       *)
+(* ------------------------------------------------------------------ *)
+
+(* The executor's whole contract is that worker count never touches
+   output. This validator runs a canonical job — a couple of draws from
+   the per-job stream tagged with the job index — under several worker
+   counts and reports any divergence from the jobs=1 reference, plus any
+   breach of the stream-derivation rules (distinct per-index streams,
+   none of them the root). Any scheduling leak (a job reading a worker's
+   generator, a merge slot holding the wrong job) changes a value. *)
+let exec ?(seed = 0xF7A) ?(count = 24) () =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let job ~index ~rng =
+    let a = Rng.bits64 rng in
+    let b = Rng.bits64 rng in
+    (index, Printf.sprintf "%Lx:%Lx" a b)
+  in
+  let reference = Pool.map_seeded ~jobs:1 ~seed ~count job in
+  Array.iteri
+    (fun i (idx, _) ->
+      if idx <> i then
+        emit
+          (violation "exec.merge-order" (Printf.sprintf "slot %d" i)
+             "slot holds job %d's result (results must merge in index order)" idx))
+    reference;
+  List.iter
+    (fun jobs ->
+      let got = Pool.map_seeded ~jobs ~seed ~count job in
+      Array.iteri
+        (fun i r ->
+          if r <> reference.(i) then
+            emit
+              (violation "exec.nondeterministic" (Printf.sprintf "job %d" i)
+                 "result under jobs=%d differs from the jobs=1 reference" jobs))
+        got)
+    [ 2; 4 ];
+  (* Stream derivation: per-index streams must be pairwise distinct and
+     never the sweep's root stream (the regression FTR_CHECK also guards
+     inside Pool.map_seeded itself). *)
+  let first index = Rng.bits64 (Seed.rng_for ~seed ~index) in
+  let root_first = Rng.bits64 (Seed.root ~seed) in
+  let seen = Hashtbl.create count in
+  for index = 0 to count - 1 do
+    let f = first index in
+    if f = root_first then
+      emit
+        (violation "exec.root-leak" (Printf.sprintf "job %d" index)
+           "derived stream coincides with the root generator's");
+    match Hashtbl.find_opt seen f with
+    | Some j ->
+        emit
+          (violation "exec.stream-collision" (Printf.sprintf "job %d" index)
+             "derived stream coincides with job %d's" j)
+    | None -> Hashtbl.add seen f index
+  done;
   List.rev !out
 
 (* ------------------------------------------------------------------ *)

@@ -86,17 +86,9 @@ let report_lengths ~n =
   let rec powers acc v = if v >= n then List.rev acc else powers (v :: acc) (v * 2) in
   List.sort_uniq compare (3 :: 6 :: powers [] 1)
 
-let figure5 ?(replacement = Heuristic.Proportional) ?(networks = 10) ~n ~links ~seed () =
-  if networks < 1 then invalid_arg "Experiment.figure5: networks must be >= 1";
-  let rng = Rng.of_int seed in
-  let sum = Array.make n 0.0 in
-  for _ = 1 to networks do
-    let net = Heuristic.build ~replacement ~n ~links (Rng.split rng) in
-    let pmf = Heuristic.length_distribution net in
-    for d = 0 to n - 1 do
-      sum.(d) <- sum.(d) +. pmf.(d)
-    done
-  done;
+(* Shared tail of the sequential and parallel drivers: average the
+   accumulated pmf mass and compare with the ideal 1/d law. *)
+let figure5_finish ~networks ~n sum =
   let derived = Array.map (fun s -> s /. float_of_int networks) sum in
   let ideal = Heuristic.ideal_distribution ~n () in
   let max_abs_error, max_abs_error_length = Gof.max_abs_error ~empirical:derived ~model:ideal in
@@ -108,6 +100,19 @@ let figure5 ?(replacement = Heuristic.Proportional) ?(networks = 10) ~n ~links ~
       (report_lengths ~n)
   in
   { points; max_abs_error; max_abs_error_length; total_variation; networks }
+
+let figure5 ?(replacement = Heuristic.Proportional) ?(networks = 10) ~n ~links ~seed () =
+  if networks < 1 then invalid_arg "Experiment.figure5: networks must be >= 1";
+  let rng = Rng.of_int seed in
+  let sum = Array.make n 0.0 in
+  for _ = 1 to networks do
+    let net = Heuristic.build ~replacement ~n ~links (Rng.split rng) in
+    let pmf = Heuristic.length_distribution net in
+    for d = 0 to n - 1 do
+      sum.(d) <- sum.(d) +. pmf.(d)
+    done
+  done;
+  figure5_finish ~networks ~n sum
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: the three stuck-message strategies under node failures.   *)
@@ -523,3 +528,168 @@ let sweep_stretch ?(n = 4096) ?(links_list = [ 1; 4; 12 ]) ?(pairs = 100) ~seed 
         mean_optimal = Summary.mean optimal_s;
       })
     links_list
+
+(* ------------------------------------------------------------------ *)
+(* Parallel variants (Ftr_exec): same row shapes, multicore execution. *)
+(* ------------------------------------------------------------------ *)
+
+(* The drivers below never share a generator across jobs: each job gets a
+   Seed-derived stream keyed by its index, and results merge in index
+   order, so the output is a pure function of the arguments — identical
+   for any [?jobs] and for the FTR_EXEC_SEQ=1 fallback. They are siblings
+   of the sequential drivers above, not replacements: the sequential ones
+   thread one generator through the whole run and therefore produce
+   different (equally valid) samples. *)
+
+module Pool = Ftr_exec.Pool
+module Sweep = Ftr_exec.Sweep
+
+let measure_par ?(failures = Failure.none) ?(side = Route.Two_sided)
+    ?(strategy = Route.Terminate) ?(shards = 16) ?jobs ~pairs ~seed net =
+  let messages = Array.length pairs in
+  if messages = 0 then invalid_arg "Experiment.measure_par: pairs must be non-empty";
+  (* Shard boundaries are fixed by [shards] alone — never by the worker
+     count — so the job decomposition is part of the experiment
+     definition and the merged summary is scheduling-invariant. *)
+  let shards = max 1 (min shards messages) in
+  let shard_results =
+    Pool.map_seeded ?jobs ~seed ~count:shards (fun ~index ~rng ->
+        let lo = index * messages / shards and hi = (index + 1) * messages / shards in
+        let failed = ref 0 and hops = ref [] and path_hops = ref [] in
+        for i = lo to hi - 1 do
+          let src, dst = pairs.(i) in
+          let path = ref [ src ] in
+          let on_hop v = path := v :: !path in
+          (match Route.route ~failures ~side ~strategy ~rng ~on_hop net ~src ~dst with
+          | Route.Delivered { hops = h } ->
+              hops := h :: !hops;
+              path_hops := Route.loop_erased_length (List.rev !path) :: !path_hops
+          | Route.Failed _ -> incr failed)
+        done;
+        (!failed, List.rev !hops, List.rev !path_hops))
+  in
+  let hops = Summary.create () and path_hops = Summary.create () in
+  let failed = ref 0 in
+  Array.iter
+    (fun (f, hs, ps) ->
+      failed := !failed + f;
+      List.iter (Summary.add_int hops) hs;
+      List.iter (Summary.add_int path_hops) ps)
+    shard_results;
+  {
+    failed_fraction = float_of_int !failed /. float_of_int messages;
+    mean_hops = Summary.mean hops;
+    hops_ci95 = Summary.ci95_halfwidth hops;
+    mean_path_hops = Summary.mean path_hops;
+    messages;
+  }
+
+let figure5_par ?(replacement = Heuristic.Proportional) ?(networks = 10) ?jobs ~n ~links ~seed ()
+    =
+  if networks < 1 then invalid_arg "Experiment.figure5_par: networks must be >= 1";
+  let pmfs =
+    Pool.map_seeded ?jobs ~seed ~count:networks (fun ~index:_ ~rng ->
+        Heuristic.length_distribution (Heuristic.build ~replacement ~n ~links rng))
+  in
+  let sum = Array.make n 0.0 in
+  Array.iter
+    (fun pmf ->
+      for d = 0 to n - 1 do
+        sum.(d) <- sum.(d) +. pmf.(d)
+      done)
+    pmfs;
+  figure5_finish ~networks ~n sum
+
+let figure6_par ?(n = 1 lsl 15) ?links ?(networks = 10) ?(messages = 100)
+    ?(fractions = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8 ]) ?jobs ~seed () =
+  let links = match links with Some l -> l | None -> int_of_float (Theory.lg n) in
+  (* One job per (fraction, network): builds its own overlay, failure mask
+     and traffic, then routes the identical traffic under all three
+     strategies (the paper's variance-reduction pairing). *)
+  let sweep =
+    Sweep.create
+      ~run:(fun ~index:_ ~rng (fraction, _net) ->
+        let net = Network.build_ideal ~n ~links rng in
+        let mask = Failure.random_node_fraction rng ~n ~fraction in
+        let failures = Failure.of_node_mask mask in
+        let pairs = random_live_pairs rng failures ~n ~messages in
+        List.map
+          (fun strategy -> measure ~failures ~strategy ~pairs ~messages ~rng net)
+          [
+            Route.Terminate;
+            Route.Random_reroute { attempts = 1 };
+            Route.Backtrack { history = 5 };
+          ])
+      (Sweep.grid2 fractions (List.init networks Fun.id))
+  in
+  let results = Sweep.run ?jobs ~seed sweep in
+  (* grid2 is row-major, so a fraction's [networks] jobs are consecutive;
+     folding them in index order keeps the output jobs-invariant. *)
+  List.mapi
+    (fun fi fraction ->
+      let accum = Array.init 3 (fun _ -> (Summary.create (), Summary.create (), Summary.create ())) in
+      for k = 0 to networks - 1 do
+        List.iteri
+          (fun si m ->
+            let failed_s, hops_s, path_s = accum.(si) in
+            Summary.add failed_s m.failed_fraction;
+            if not (Float.is_nan m.mean_hops) then begin
+              Summary.add hops_s m.mean_hops;
+              Summary.add path_s m.mean_path_hops
+            end)
+          results.((fi * networks) + k)
+      done;
+      let result si =
+        let failed_s, hops_s, path_s = accum.(si) in
+        {
+          failed_fraction = Summary.mean failed_s;
+          mean_hops = Summary.mean hops_s;
+          hops_ci95 = Summary.ci95_halfwidth hops_s;
+          mean_path_hops = Summary.mean path_s;
+          messages = networks * messages;
+        }
+      in
+      { fail_fraction = fraction; terminate = result 0; reroute = result 1; backtrack = result 2 })
+    fractions
+
+let table1_grid ?jobs ?(ns = [ 256; 1024; 4096; 16384 ]) ?(big = 1 lsl 14) ?(networks = 4)
+    ?(messages = 200) ?(trials = 300) ~seed () =
+  (* Each section is a self-contained closure that derives its own
+     generator from [seed] (exactly as the sequential bench harness calls
+     it), so running sections on pool workers is byte-identical to running
+     them in a loop. *)
+  let sections =
+    [|
+      (fun () ->
+        ( "no failures, 1 link: T = O(H_n^2)  [Theorem 12]",
+          sweep_single_link ~ns ~networks ~messages ~seed () ));
+      (fun () ->
+        ( Printf.sprintf "no failures, l links, n=%d: T = O(log^2 n / l)  [Theorem 13]" big,
+          sweep_multi_link ~n:big ~links_list:[ 1; 2; 4; 8; 14 ] ~networks ~messages ~seed () ));
+      (fun () ->
+        ( "deterministic base-2 links: T <= ceil(log2 n)  [Theorem 14]",
+          sweep_deterministic ~ns ~base:2 ~messages ~seed () ));
+      (fun () ->
+        ( "deterministic base-16 links: T <= ceil(log16 n)  [Theorem 14]",
+          sweep_deterministic ~ns ~base:16 ~messages ~seed () ));
+      (fun () ->
+        ( Printf.sprintf "link failures, n=%d: T = O(log^2 n / p l)  [Theorem 15]" big,
+          sweep_link_failure ~n:big ~probs:[ 1.0; 0.8; 0.6; 0.4; 0.2 ] ~networks ~messages ~seed
+            () ));
+      (fun () ->
+        ( Printf.sprintf "geometric links + failures, n=%d: T = O(b log n / p)  [Theorem 16]" big,
+          sweep_geometric_link_failure ~n:big ~base:2 ~probs:[ 1.0; 0.8; 0.6; 0.4 ] ~networks
+            ~messages ~seed () ));
+      (fun () ->
+        ( Printf.sprintf "binomial node presence, n=%d, 1 link: T = O(log^2 n)  [Theorem 17]" big,
+          sweep_binomial_nodes ~n:big ~links:1 ~probs:[ 1.0; 0.7; 0.5; 0.3 ] ~networks ~messages
+            ~seed () ));
+      (fun () ->
+        ( Printf.sprintf "node failures, n=%d: T = O(log^2 n / (1-p) l)  [Theorem 18]" big,
+          sweep_node_failure ~n:big ~probs:[ 0.0; 0.2; 0.4; 0.6 ] ~networks ~messages ~seed () ));
+      (fun () ->
+        ( "one-sided greedy vs Omega(log^2 n / l loglog n)  [Theorem 10]",
+          sweep_lower_bound ~ns ~links:3 ~trials ~seed () ));
+    |]
+  in
+  Array.to_list (Pool.map ?jobs ~count:(Array.length sections) (fun i -> sections.(i) ()))

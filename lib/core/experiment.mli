@@ -198,3 +198,70 @@ val sweep_stretch :
   ?n:int -> ?links_list:int list -> ?pairs:int -> seed:int -> unit -> stretch_row list
 (** Ablation: the price of locality — greedy routing versus global
     shortest paths on the same overlays. *)
+
+(** {1 Parallel drivers}
+
+    Multicore siblings of the drivers above, built on {!Ftr_exec}. Each
+    job draws from its own [Ftr_exec.Seed]-derived stream keyed by job
+    index, and results merge in index order, so the output is a pure
+    function of the arguments — byte-identical for any [?jobs] (which
+    defaults to [Ftr_exec.Pool.default_jobs]) and for the
+    [FTR_EXEC_SEQ=1] sequential fallback. They are {e siblings}, not
+    drop-in equivalents, of the sequential drivers: those thread a single
+    generator through the run and so produce different (equally valid)
+    samples of the same distributions. *)
+
+val measure_par :
+  ?failures:Failure.t ->
+  ?side:Route.side ->
+  ?strategy:Route.strategy ->
+  ?shards:int ->
+  ?jobs:int ->
+  pairs:(int * int) array ->
+  seed:int ->
+  Network.t ->
+  measurement
+(** {!measure} over pre-drawn [pairs], split into [shards] fixed slices
+    (default 16) routed as independent jobs. Shard boundaries depend only
+    on [shards], never on [jobs]. *)
+
+val figure5_par :
+  ?replacement:Heuristic.replacement ->
+  ?networks:int ->
+  ?jobs:int ->
+  n:int ->
+  links:int ->
+  seed:int ->
+  unit ->
+  figure5_result
+(** {!figure5} with one job per network construction. *)
+
+val figure6_par :
+  ?n:int ->
+  ?links:int ->
+  ?networks:int ->
+  ?messages:int ->
+  ?fractions:float list ->
+  ?jobs:int ->
+  seed:int ->
+  unit ->
+  figure6_row list
+(** {!figure6} as a [fractions × networks] sweep — one job per (fraction,
+    network) pair, each routing identical traffic under all three
+    strategies. *)
+
+val table1_grid :
+  ?jobs:int ->
+  ?ns:int list ->
+  ?big:int ->
+  ?networks:int ->
+  ?messages:int ->
+  ?trials:int ->
+  seed:int ->
+  unit ->
+  (string * scaling_row list) list
+(** The whole Table 1 battery (Theorems 12–18 and the Theorem 10 lower
+    bound) as captioned sections run as pool jobs. Every section derives
+    its own generator from [seed], exactly as the bench harness calls the
+    sequential sweeps, so the rows match a sequential run byte for
+    byte. *)

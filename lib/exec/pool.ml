@@ -1,0 +1,100 @@
+module Rng = Ftr_prng.Rng
+module Debug = Ftr_debug.Debug
+module Flag = Ftr_obs.Flag
+module Metrics = Ftr_obs.Metrics
+module Span = Ftr_obs.Span
+
+let sequential_forced () =
+  match Sys.getenv_opt "FTR_EXEC_SEQ" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+let default_jobs () =
+  if sequential_forced () then 1 else max 1 (Domain.recommended_domain_count ())
+
+(* Nested parallelism guard: a job that itself calls [map] must not spawn
+   a second generation of domains under the first (the pool would
+   oversubscribe quadratically). Worker domains mark themselves and any
+   [map] they run degrades to the sequential path. *)
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+
+let run_sequential ~count f = Array.init count f
+
+(* Chunk size: enough chunks per worker (4x) that an uneven job mix still
+   balances, big enough that the atomic cursor is not contended. The
+   results are chunking-invariant either way; only wall-clock cares. *)
+let chunk_size ~count ~jobs = max 1 (count / (jobs * 4))
+
+let run_parallel ~jobs ~count f =
+  let results = Array.make count None in
+  let errors = Array.make jobs None in
+  let busy = Array.make jobs 0.0 in
+  let next = Atomic.make 0 in
+  let chunk = chunk_size ~count ~jobs in
+  let worker w () =
+    Domain.DLS.set in_worker_key true;
+    (* The obs registries are not domain-safe; the coordinator reports for
+       the pool (see pool.mli). *)
+    Flag.suppress_in_domain true;
+    let t0 = Unix.gettimeofday () in
+    (try
+       let continue = ref true in
+       while !continue do
+         let lo = Atomic.fetch_and_add next chunk in
+         if lo >= count then continue := false
+         else
+           for i = lo to min (lo + chunk) count - 1 do
+             results.(i) <- Some (f i)
+           done
+       done
+     with e -> errors.(w) <- Some e);
+    busy.(w) <- Unix.gettimeofday () -. t0
+  in
+  if Flag.enabled () then Metrics.set_gauge "exec_queue_depth" (float_of_int count);
+  let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in
+  Array.iter Domain.join domains;
+  if Flag.enabled () then begin
+    Metrics.set_gauge "exec_queue_depth" 0.0;
+    Metrics.set_gauge "exec_pool_workers" (float_of_int jobs);
+    Array.iteri
+      (fun w t ->
+        Metrics.observe ~labels:[ ("worker", string_of_int w) ] "exec_worker_busy_seconds" t)
+      busy
+  end;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map
+    (function
+      | Some v -> v
+      | None ->
+          (* Unreachable: every chunk was consumed and no worker erred. *)
+          assert false)
+    results
+
+let map ?jobs ~count f =
+  if count < 0 then invalid_arg "Pool.map: count must be non-negative";
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  let completed r =
+    if Flag.enabled () then Metrics.incr_by "exec_jobs_completed_total" count;
+    r
+  in
+  if jobs = 1 || count <= 1 || Domain.DLS.get in_worker_key then
+    completed (run_sequential ~count f)
+  else
+    Span.time "exec.pool.run" (fun () -> completed (run_parallel ~jobs:(min jobs count) ~count f))
+
+(* Two generators share a stream iff their next draws agree; copies probe
+   that without advancing either. One draw is no proof of equality in
+   general, but the root and every derived stream differ in their first
+   word with overwhelming probability, which is what the regression guard
+   needs. *)
+let same_stream a b = a == b || Rng.bits64 (Rng.copy a) = Rng.bits64 (Rng.copy b)
+
+let map_seeded ?jobs ~seed ~count f =
+  let rngs = Array.init count (fun index -> Seed.rng_for ~seed ~index) in
+  Debug.check
+    (fun () ->
+      let root = Seed.root ~seed in
+      not (Array.exists (fun rng -> same_stream rng root) rngs))
+    "Pool.map_seeded: a job received the root generator (seed %d)" seed;
+  map ?jobs ~count (fun i -> f ~index:i ~rng:rngs.(i))

@@ -1,0 +1,41 @@
+(** A pool of OCaml 5 domains with chunked work distribution and a
+    deterministic contract: {!map} returns results in job-index order, so
+    output never depends on how jobs landed on workers.
+
+    Parallel execution only changes {e wall-clock}, never results,
+    provided each job is a pure function of its index (and of a generator
+    derived from the index — see {!Seed}). Worker domains run with
+    {!Ftr_obs} telemetry suppressed ([Ftr_obs.Flag.suppress_in_domain]):
+    the registries are not domain-safe, so the coordinator records the
+    pool's own metrics ([exec_jobs_completed_total],
+    [exec_pool_workers], [exec_queue_depth], the per-worker
+    [exec_worker_busy_seconds] histogram and the [exec.pool.run] span)
+    on the workers' behalf. Consequence: per-hop metrics recorded inside
+    jobs only appear in sequential runs — the determinism contract covers
+    merged results, not telemetry (docs/PARALLELISM.md). *)
+
+val sequential_forced : unit -> bool
+(** [true] when the environment demands the sequential fallback
+    ([FTR_EXEC_SEQ] set to [1], [true], [on] or [yes]). Read per call, so
+    tests can flip it with [Unix.putenv]. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: 1 when
+    {!sequential_forced} or when [Domain.recommended_domain_count ()] is
+    1, else the recommended domain count. *)
+
+val map : ?jobs:int -> count:int -> (int -> 'a) -> 'a array
+(** [map ~count f] evaluates [f i] for every [i] in [0, count) and
+    returns [[| f 0; ...; f (count-1) |]]. With [jobs <= 1] (or inside a
+    worker domain, or [count <= 1]) everything runs on the calling
+    domain; otherwise [min jobs count] worker domains pull chunks of
+    indices from a shared atomic cursor. A job's exception is re-raised
+    on the caller once all workers have joined.
+    @raise Invalid_argument if [count < 0] or [jobs < 1]. *)
+
+val map_seeded :
+  ?jobs:int -> seed:int -> count:int -> (index:int -> rng:Ftr_prng.Rng.t -> 'a) -> 'a array
+(** {!map} with each job handed its {!Seed.rng_for}-derived generator.
+    Under [FTR_CHECK=1] asserts that no job received the sweep's root
+    generator (physically or as an identical stream) — the regression the
+    derivation scheme exists to prevent. *)

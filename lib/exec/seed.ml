@@ -1,0 +1,20 @@
+module Splitmix64 = Ftr_prng.Splitmix64
+module Rng = Ftr_prng.Rng
+
+(* Weyl increment of SplitMix64 — multiplying the job index by it spreads
+   consecutive indices across the whole 64-bit space before the SplitMix
+   finaliser mixes them. *)
+let golden = 0x9E3779B97F4A7C15L
+
+(* One fixed draw from a SplitMix64 stream seeded by [seed]: the sweep's
+   stream base. Everything a sweep randomises descends from this value. *)
+let base seed = Splitmix64.next_int64 (Splitmix64.of_int seed)
+
+let rng_for ~seed ~index =
+  if index < 0 then invalid_arg "Seed.rng_for: index must be non-negative";
+  (* [index + 1] keeps job 0 off the root's own derivation path: the root
+     uses [base] directly, job k uses [base XOR (k+1)*golden] re-mixed. *)
+  let stream = Int64.logxor (base seed) (Int64.mul (Int64.of_int (index + 1)) golden) in
+  Rng.create ~seed:(Splitmix64.next_int64 (Splitmix64.create stream)) ()
+
+let root ~seed = Rng.create ~seed:(base seed) ()

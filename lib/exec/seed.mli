@@ -1,0 +1,23 @@
+(** Per-job generator derivation — the only sanctioned way a sweep job
+    obtains randomness.
+
+    {!Ftr_prng.Rng.t} is mutable state with no internal synchronisation:
+    sharing one generator between domains is a data race, and handing the
+    root generator to any job would make results depend on scheduling.
+    Instead every job's generator is a pure function of the root [seed]
+    and the job's [index] — never of worker identity or completion order —
+    so a sweep's merged output is invariant to the worker count
+    (docs/PARALLELISM.md). *)
+
+val rng_for : seed:int -> index:int -> Ftr_prng.Rng.t
+(** [rng_for ~seed ~index] is the generator for job [index] of a sweep
+    rooted at [seed]. Pure: calling it twice yields two generators with
+    identical streams. Distinct indices yield decorrelated streams
+    (SplitMix64 of the root stream base xored with a golden-ratio
+    multiple of [index + 1], then fed to xoshiro seeding).
+    @raise Invalid_argument if [index < 0]. *)
+
+val root : seed:int -> Ftr_prng.Rng.t
+(** The root generator a sequential driver rooted at [seed] would use.
+    Exposed so {!Pool}'s [FTR_CHECK] assertion can verify no job ever
+    receives it; jobs themselves must only use {!rng_for}. *)

@@ -15,7 +15,18 @@ let env_enabled =
 
 let enabled_ref = ref env_enabled
 
-let enabled () = !enabled_ref
+(* The collectors ([Metrics], [Span], [Events]) are plain hashtables and
+   refs — fast, but not domain-safe. [Ftr_exec.Pool] therefore suppresses
+   telemetry inside its worker domains (the coordinator records pool-level
+   metrics on their behalf). Suppression is domain-local state so flipping
+   it in a worker cannot blind the coordinator. The off fast path is
+   unchanged: [enabled_ref] is read first and short-circuits before the
+   DLS lookup. *)
+let suppressed_key = Domain.DLS.new_key (fun () -> false)
+
+let enabled () = !enabled_ref && not (Domain.DLS.get suppressed_key)
+
+let suppress_in_domain on = Domain.DLS.set suppressed_key on
 
 let set_mode on = enabled_ref := on
 

@@ -3,7 +3,16 @@
 
     Every simulation component takes one of these explicitly — there is no
     hidden global generator, so every experiment is reproducible from its
-    seed. *)
+    seed.
+
+    {b Not domain-safe.} A generator is mutable state with no internal
+    synchronisation: two domains drawing from the same [t] is a data race,
+    and even a benign-looking share makes output depend on scheduling.
+    Parallel code must not pass generators across domains — a job running
+    under [Ftr_exec] obtains its generator from [Ftr_exec.Seed.rng_for]
+    (a pure function of the sweep seed and the job index), which is the
+    only sanctioned path; [Ftr_exec.Pool] asserts under [FTR_CHECK=1]
+    that no job ever receives the sweep's root generator. *)
 
 type t
 (** A generator (mutable state). *)

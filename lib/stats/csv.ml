@@ -36,6 +36,17 @@ let to_string ~header ~rows =
   List.iter (add_row buffer) rows;
   Buffer.contents buffer
 
+(* [Sys.mkdir] has no -p: a nested output directory like out/2026/bench
+   would fail with ENOENT. Create the ancestry leaf-last; racing creators
+   are harmless (the final existence check is what matters). Shared by the
+   bench CSV exporter and the exec checkpoint/output paths. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
 let write_file ~path ~header ~rows =
   Out_channel.with_open_text path (fun oc -> output_string oc (to_string ~header ~rows))
 

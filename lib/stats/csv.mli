@@ -11,6 +11,10 @@ val to_string : header:string list -> rows:string list list -> string
 (** The whole document, header first.
     @raise Invalid_argument if any row's width differs from the header's. *)
 
+val mkdir_p : string -> unit
+(** Create a directory and its missing ancestors ([mkdir -p]); existing
+    directories (including races with concurrent creators) are fine. *)
+
 val write_file : path:string -> header:string list -> rows:string list list -> unit
 (** Write the document to a file. *)
 

@@ -1,0 +1,294 @@
+(* The exec subsystem's contract: a sweep's merged output is a pure
+   function of (seed, grid) — never of the worker count, the chunking or
+   the FTR_EXEC_SEQ fallback. The qcheck property pins that down
+   byte-for-byte (Marshal, so NaN payloads compare too); the rest covers
+   the seed-derivation rules, pool error paths, the obs wiring and the
+   checkpoint journal's crash tolerance. *)
+
+module Pool = Ftr_exec.Pool
+module Seed = Ftr_exec.Seed
+module Sweep = Ftr_exec.Sweep
+module Checkpoint = Ftr_exec.Checkpoint
+module Rng = Ftr_prng.Rng
+module Json = Ftr_obs.Json
+module E = Ftr_core.Experiment
+module Network = Ftr_core.Network
+
+let bytes_equal a b = Marshal.to_string a [] = Marshal.to_string b []
+
+(* FTR_EXEC_SEQ is read per call, so a putenv flip takes effect
+   immediately; restore the previous value even if the body fails. *)
+let with_seq_forced on f =
+  let old = Sys.getenv_opt "FTR_EXEC_SEQ" in
+  Unix.putenv "FTR_EXEC_SEQ" (if on then "1" else "0");
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "FTR_EXEC_SEQ" (match old with Some v -> v | None -> "0"))
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Seed derivation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seed_scheme () =
+  (* Pure: the same (seed, index) always yields the same stream. *)
+  let a = Seed.rng_for ~seed:5 ~index:3 and b = Seed.rng_for ~seed:5 ~index:3 in
+  Alcotest.(check int64) "pure in (seed, index)" (Rng.bits64 a) (Rng.bits64 b);
+  (* Distinct indices (and the root) all start differently. *)
+  let first i = Rng.bits64 (Seed.rng_for ~seed:5 ~index:i) in
+  let root_first = Rng.bits64 (Seed.root ~seed:5) in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let f = first i in
+    Alcotest.(check bool)
+      (Printf.sprintf "index %d differs from the root stream" i)
+      true (f <> root_first);
+    Alcotest.(check bool) (Printf.sprintf "index %d stream is fresh" i) false (Hashtbl.mem seen f);
+    Hashtbl.add seen f ()
+  done;
+  (* Different seeds decorrelate the same index. *)
+  Alcotest.(check bool) "seeds decorrelate" true
+    (Rng.bits64 (Seed.rng_for ~seed:5 ~index:0) <> Rng.bits64 (Seed.rng_for ~seed:6 ~index:0));
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Seed.rng_for: index must be non-negative") (fun () ->
+      ignore (Seed.rng_for ~seed:5 ~index:(-1)))
+
+(* The FTR_CHECK regression guard inside map_seeded must stay quiet on the
+   sanctioned derivation (it exists to catch a future refactor handing a
+   job the root generator). *)
+let seeded_guard () =
+  Ftr_debug.Debug.with_mode true @@ fun () ->
+  let r = Pool.map_seeded ~jobs:2 ~seed:9 ~count:8 (fun ~index:_ ~rng -> Rng.bits64 rng) in
+  Alcotest.(check int) "all jobs ran" 8 (Array.length r)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_map () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~count:0 (fun i -> i));
+  Alcotest.(check (array int)) "index order under jobs=4"
+    (Array.init 100 (fun i -> i * i))
+    (Pool.map ~jobs:4 ~count:100 (fun i -> i * i));
+  Alcotest.check_raises "negative count" (Invalid_argument "Pool.map: count must be non-negative")
+    (fun () -> ignore (Pool.map ~count:(-1) (fun i -> i)));
+  Alcotest.check_raises "zero jobs" (Invalid_argument "Pool.map: jobs must be >= 1") (fun () ->
+      ignore (Pool.map ~jobs:0 ~count:4 (fun i -> i)))
+
+let pool_exception () =
+  match Pool.map ~jobs:2 ~count:16 (fun i -> if i = 7 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "a job raised but map returned"
+  | exception Stdlib.Failure m -> Alcotest.(check string) "job's own exception surfaces" "boom" m
+
+(* A job that itself maps must degrade to the sequential path instead of
+   spawning a second generation of domains — and still merge correctly. *)
+let pool_nested () =
+  let r =
+    Pool.map ~jobs:2 ~count:4 (fun i ->
+        Array.to_list (Pool.map ~jobs:4 ~count:3 (fun j -> (10 * i) + j)))
+  in
+  Alcotest.(check (array (list int)))
+    "nested results intact"
+    [| [ 0; 1; 2 ]; [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ] |]
+    r
+
+let pool_sequential_fallbacks () =
+  with_seq_forced true (fun () ->
+      Alcotest.(check bool) "FTR_EXEC_SEQ forces the fallback" true (Pool.sequential_forced ());
+      Alcotest.(check int) "default_jobs is 1 under the fallback" 1 (Pool.default_jobs ()));
+  with_seq_forced false (fun () ->
+      Alcotest.(check bool) "fallback released" false (Pool.sequential_forced ()))
+
+let pool_metrics () =
+  Ftr_obs.Flag.with_mode true @@ fun () ->
+  Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
+  Ftr_obs.Span.reset ();
+  (* Instrumented code gates on [Flag.enabled] (Metrics itself records
+     unconditionally); worker-domain suppression flips that gate off. *)
+  let inside = "exec_test_inside_job" in
+  let instrumented i =
+    if Ftr_obs.Flag.enabled () then Ftr_obs.Metrics.incr inside;
+    i
+  in
+  ignore (Pool.map ~jobs:2 ~count:8 instrumented);
+  Alcotest.(check int) "coordinator counts completed jobs" 8
+    (Ftr_obs.Metrics.counter_value "exec_jobs_completed_total");
+  (* Worker domains run with telemetry suppressed (the registries are not
+     domain-safe), so job-side metrics vanish on the parallel path... *)
+  Alcotest.(check int) "worker-side telemetry suppressed" 0
+    (Ftr_obs.Metrics.counter_value inside);
+  (match Ftr_obs.Span.find "exec.pool.run" with
+  | Some s -> Alcotest.(check bool) "pool span timed" true (s.Ftr_obs.Span.count >= 1)
+  | None -> Alcotest.fail "no exec.pool.run span recorded");
+  (* ...and is recorded as usual on the sequential path. The determinism
+     contract covers merged results, not telemetry. *)
+  ignore (Pool.map ~jobs:1 ~count:4 instrumented);
+  Alcotest.(check int) "sequential path records job-side telemetry" 4
+    (Ftr_obs.Metrics.counter_value inside)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism (the headline property)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_determinism =
+  QCheck.Test.make ~count:30
+    ~name:"merged results byte-identical for jobs in {1,2,4} and FTR_EXEC_SEQ=1"
+    QCheck.(pair small_int (int_range 0 40))
+    (fun (seed, count) ->
+      let job ~index ~rng =
+        Printf.sprintf "%d:%Lx:%Lx" index (Rng.bits64 rng) (Rng.bits64 rng)
+      in
+      let run ?jobs () = Pool.map_seeded ?jobs ~seed ~count job in
+      let reference = run ~jobs:1 () in
+      bytes_equal reference (run ~jobs:2 ())
+      && bytes_equal reference (run ~jobs:4 ())
+      && with_seq_forced true (fun () -> bytes_equal reference (run ())))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep grids                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let grids () =
+  Alcotest.(check (list (pair int string)))
+    "grid2 row-major"
+    [ (1, "a"); (1, "b"); (2, "a"); (2, "b") ]
+    (Sweep.grid2 [ 1; 2 ] [ "a"; "b" ]);
+  let g3 = Sweep.grid3 [ 1; 2 ] [ 3; 4 ] [ 5; 6; 7 ] in
+  Alcotest.(check int) "grid3 size" 12 (List.length g3);
+  Alcotest.(check bool) "grid3 first/last" true
+    (List.hd g3 = (1, 3, 5) && List.nth g3 11 = (2, 4, 7));
+  Alcotest.(check int) "grid4 size" 12
+    (List.length (Sweep.grid4 [ 1; 2 ] [ 3 ] [ 4; 5 ] [ 6; 7; 8 ]));
+  let s = Sweep.create ~run:(fun ~index ~rng:_ p -> (index, p)) [ "x"; "y"; "z" ] in
+  Alcotest.(check int) "sweep size" 3 (Sweep.size s);
+  Alcotest.(check (array (pair int string)))
+    "run hands each job its own index"
+    [| (0, "x"); (1, "y"); (2, "z") |]
+    (Sweep.run ~jobs:2 ~seed:4 s)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact float codec for the journal: IEEE bits in hex, because
+   Json.Float's decimal rendering is lossy and resume must reproduce the
+   uninterrupted run byte for byte. *)
+let encode (i, f) =
+  Json.Obj [ ("i", Json.Int i); ("f", Json.String (Printf.sprintf "%Lx" (Int64.bits_of_float f))) ]
+
+let decode j =
+  match (Json.member "i" j, Json.member "f" j) with
+  | Some (Json.Int i), Some (Json.String s) -> (
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some b -> Some (i, Int64.float_of_bits b)
+      | None -> None)
+  | _ -> None
+
+let float_sweep = Sweep.create ~run:(fun ~index ~rng _p -> (index, Rng.float rng)) (List.init 9 Fun.id)
+
+let checkpoint_roundtrip () =
+  (* A nested path exercises the shared Csv.mkdir_p on the journal dir. *)
+  let root = Filename.temp_file "ftr_exec_ck" "" in
+  Sys.remove root;
+  let path = Filename.concat (Filename.concat root "nested") "journal.jsonl" in
+  let seed = 11 in
+  let plain = Sweep.run ~jobs:1 ~seed float_sweep in
+  let first = Sweep.run_checkpointed ~jobs:2 ~wave:3 ~path ~seed ~encode ~decode float_sweep in
+  Alcotest.(check bool) "checkpointed run = plain run" true (bytes_equal plain first);
+  (* Kill simulation: drop the last full record and leave a torn line. *)
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  Alcotest.(check int) "header + one record per job" 10 (List.length lines);
+  Out_channel.with_open_text path (fun oc ->
+      List.iteri
+        (fun i l ->
+          if i < List.length lines - 1 then begin
+            output_string oc l;
+            output_char oc '\n'
+          end)
+        lines;
+      output_string oc "{\"job\":8,\"res");
+  let resumed = Sweep.run_checkpointed ~path ~seed ~encode ~decode float_sweep in
+  Alcotest.(check bool) "resume from truncated journal = plain run" true
+    (bytes_equal plain resumed);
+  Sys.remove path
+
+let checkpoint_header_mismatch () =
+  let path = Filename.temp_file "ftr_exec_hdr" ".jsonl" in
+  let t = Checkpoint.open_ ~fresh:true ~path ~seed:1 ~count:4 () in
+  Checkpoint.append t ~index:0 (Json.Int 42);
+  Checkpoint.close t;
+  (try
+     ignore (Checkpoint.open_ ~path ~seed:2 ~count:4 ());
+     Alcotest.fail "a journal for another seed was accepted"
+   with Stdlib.Failure _ -> ());
+  (try
+     ignore (Checkpoint.open_ ~path ~seed:1 ~count:5 ());
+     Alcotest.fail "a journal for another grid size was accepted"
+   with Stdlib.Failure _ -> ());
+  (* fresh:true is the sanctioned way to discard a stale journal. *)
+  let t2 = Checkpoint.open_ ~fresh:true ~path ~seed:2 ~count:4 () in
+  Alcotest.(check int) "fresh journal starts empty" 0 (List.length (Checkpoint.completed t2));
+  Checkpoint.close t2;
+  Sys.remove path
+
+let checkpoint_tolerates_garbage () =
+  let path = Filename.temp_file "ftr_exec_garbage" ".jsonl" in
+  let t = Checkpoint.open_ ~fresh:true ~path ~seed:7 ~count:3 () in
+  Checkpoint.append t ~index:0 (Json.Int 10);
+  Checkpoint.close t;
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+  (* A torn append, an out-of-range index, a duplicate of job 0. *)
+  output_string oc "{\"job\":1,\"result\"\n";
+  output_string oc "{\"job\":9,\"result\":1}\n";
+  output_string oc "{\"job\":0,\"result\":99}\n";
+  close_out oc;
+  let t2 = Checkpoint.open_ ~path ~seed:7 ~count:3 () in
+  (match Checkpoint.completed t2 with
+  | [ (0, Json.Int 10) ] -> ()
+  | cs -> Alcotest.failf "expected only job 0's first record, got %d record(s)" (List.length cs));
+  Checkpoint.close t2;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Experiment parallel drivers                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_parallel () =
+  let f5 jobs = E.figure5_par ~jobs ~networks:2 ~n:256 ~links:4 ~seed:3 () in
+  Alcotest.(check bool) "figure5_par jobs-invariant" true (bytes_equal (f5 1) (f5 3));
+  let rng = Rng.of_int 7 in
+  let net = Network.build_ideal ~n:512 ~links:6 rng in
+  let pairs = E.random_live_pairs rng Ftr_core.Failure.none ~n:512 ~messages:200 in
+  let m jobs = E.measure_par ~jobs ~pairs ~seed:11 net in
+  Alcotest.(check bool) "measure_par jobs-invariant" true (bytes_equal (m 1) (m 4));
+  let f6 jobs = E.figure6_par ~jobs ~n:256 ~networks:2 ~messages:40 ~fractions:[ 0.0; 0.4 ] ~seed:5 () in
+  Alcotest.(check bool) "figure6_par jobs-invariant" true (bytes_equal (f6 1) (f6 2));
+  let t1 jobs =
+    E.table1_grid ~jobs ~ns:[ 64; 128 ] ~big:256 ~networks:1 ~messages:30 ~trials:20 ~seed:2 ()
+  in
+  Alcotest.(check bool) "table1_grid jobs-invariant" true (bytes_equal (t1 1) (t1 3))
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "exec"
+    [
+      ( "seed",
+        [ quick "derivation scheme" seed_scheme; quick "FTR_CHECK root guard stays quiet" seeded_guard ] );
+      ( "pool",
+        [
+          quick "map basics and index order" pool_map;
+          quick "exception propagation" pool_exception;
+          quick "nested map degrades to sequential" pool_nested;
+          quick "FTR_EXEC_SEQ fallback" pool_sequential_fallbacks;
+          quick "coordinator metrics, worker suppression" pool_metrics;
+        ] );
+      ("determinism", [ QCheck_alcotest.to_alcotest qcheck_determinism ]);
+      ("sweep", [ quick "grids are row-major" grids ]);
+      ( "checkpoint",
+        [
+          quick "resume round-trip through a kill" checkpoint_roundtrip;
+          quick "header mismatch refused" checkpoint_header_mismatch;
+          quick "torn and bogus records skipped" checkpoint_tolerates_garbage;
+        ] );
+      ("experiment", [ quick "parallel drivers are jobs-invariant" experiment_parallel ]);
+    ]
