@@ -19,6 +19,17 @@ module Plot = Ftr_stats.Ascii_plot
 
 let full = match Sys.getenv_opt "FTR_BENCH_FULL" with Some ("1" | "true") -> true | _ -> false
 
+(* FTR_BENCH_SMOKE=1 shrinks the timed sections to seconds — the @perf
+   alias uses it to keep the route microbenchmark inside the edit loop. *)
+let smoke = match Sys.getenv_opt "FTR_BENCH_SMOKE" with Some ("1" | "true") -> true | _ -> false
+
+(* FTR_BENCH_ONLY=<name>[,<name>...] runs only the named sections
+   ("route", or the full "bench.route" span name). Unset runs them all. *)
+let only_sections =
+  match Sys.getenv_opt "FTR_BENCH_ONLY" with
+  | None | Some "" -> None
+  | Some s -> Some (String.split_on_char ',' s)
+
 (* Set FTR_BENCH_CSV=<dir> to also export every table as CSV. *)
 let csv_dir = Sys.getenv_opt "FTR_BENCH_CSV"
 
@@ -846,7 +857,33 @@ let run_churn () =
    with a structural comparison, and byte-for-byte in the test suite),
    so the only difference is the wall clock. The numbers land in
    BENCH_exec.json for machines to read. *)
+let write_exec_report report =
+  let path = "BENCH_exec.json" in
+  let oc = open_out path in
+  output_string oc (Ftr_obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[exec] wrote %s\n%!" path
+
 let run_exec () =
+  let host = Domain.recommended_domain_count () in
+  if host <= 1 then begin
+    (* A jobs sweep on one core can only measure scheduling overhead, so
+       the section is skipped outright; the report says so explicitly
+       rather than publishing a meaningless "speedup". *)
+    section
+      (Printf.sprintf
+         "EXEC — skipped: host recommends %d domain(s); the jobs sweep needs more than one" host);
+    write_exec_report
+      Ftr_obs.Json.(
+        Obj
+          [
+            ("skipped", Bool true);
+            ("host_recommended_domains", Int host);
+            ("full_scale", Bool full);
+          ])
+  end
+  else begin
   let jobs = match jobs_flag with Some j -> j | None -> Ftr_exec.Pool.default_jobs () in
   section
     (Printf.sprintf
@@ -908,12 +945,225 @@ let run_exec () =
                !rows) );
       ]
   in
-  let path = "BENCH_exec.json" in
+  write_exec_report report
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Route throughput: flat-CSR router vs the pre-refactor reference     *)
+(* ------------------------------------------------------------------ *)
+
+(* A faithful re-implementation of the router this tree shipped before
+   the CSR refactor: jagged per-node neighbour rows, a Hashtbl of
+   int-list exclusion sets probed with [List.mem], and the generic
+   closure-based failure checks on every candidate. It exists so the
+   speedup in BENCH_route.json is measured inside one build against the
+   same workload, not quoted from a stale run — and so the agreement
+   pass below can assert, message by message, that the refactor changed
+   the clock and nothing else. Only the two strategies the throughput
+   workload exercises are implemented. *)
+module Legacy_route = struct
+  module Failure = Ftr_core.Failure
+
+  let best_neighbor net rows failures ~mode ~tried ~cur ~dst =
+    let cur_dist = Network.routing_distance net ~side:`Two_sided ~src:cur ~dst in
+    let ns : int array = rows.(cur) in
+    let excluded = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
+    let limit = match mode with `Strict -> cur_dist | `Any -> max_int in
+    let best = ref (-1) and best_idx = ref (-1) and best_dist = ref limit in
+    Array.iteri
+      (fun idx v ->
+        if
+          Failure.link_alive failures ~src:cur ~idx
+          && Failure.node_alive failures v
+          && not (List.mem idx excluded)
+        then begin
+          let v_dist = Network.routing_distance net ~side:`Two_sided ~src:v ~dst in
+          if v_dist < !best_dist then begin
+            best := v;
+            best_idx := idx;
+            best_dist := v_dist
+          end
+        end)
+      ns;
+    if !best < 0 then None else Some (!best_idx, !best)
+
+  let no_tried : (int, int list) Hashtbl.t = Hashtbl.create 1
+
+  let route ?(failures = Failure.none) ?(strategy = Route.Terminate) ?(max_hops = 1_000_000) net
+      rows ~src ~dst =
+    let tried =
+      match strategy with
+      | Route.Backtrack _ -> Hashtbl.create 64
+      | Route.Terminate -> no_tried
+      | Route.Random_reroute _ -> invalid_arg "Legacy_route.route: reroute not implemented"
+    in
+    let record_tried cur idx =
+      match strategy with
+      | Route.Backtrack _ ->
+          let prev = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
+          Hashtbl.replace tried cur (idx :: prev)
+      | Route.Terminate | Route.Random_reroute _ -> ()
+    in
+    match strategy with
+    | Route.Random_reroute _ -> assert false
+    | Route.Terminate ->
+        let cur = ref src and h = ref 0 and stop = ref false in
+        while (not !stop) && !cur <> dst && !h < max_hops do
+          match best_neighbor net rows failures ~mode:`Strict ~tried ~cur:!cur ~dst with
+          | Some (_, v) ->
+              cur := v;
+              incr h
+          | None -> stop := true
+        done;
+        if !cur = dst then Route.Delivered { hops = !h }
+        else if !stop then
+          Route.Failed { hops = !h; stuck_at = !cur; reason = Route.No_live_neighbor }
+        else Route.Failed { hops = !h; stuck_at = !cur; reason = Route.Hop_limit }
+    | Route.Backtrack { history = history_limit } ->
+        let trim history =
+          let rec take k = function
+            | [] -> []
+            | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+          in
+          take history_limit history
+        in
+        let rec forward cur h history =
+          if cur = dst then Route.Delivered { hops = h }
+          else if h >= max_hops then
+            Route.Failed { hops = h; stuck_at = cur; reason = Route.Hop_limit }
+          else
+            match best_neighbor net rows failures ~mode:`Strict ~tried ~cur ~dst with
+            | Some (idx, v) ->
+                record_tried cur idx;
+                forward v (h + 1) (trim (cur :: history))
+            | None -> backtrack cur h history
+        and backtrack stuck h history =
+          match history with
+          | [] -> Route.Failed { hops = h; stuck_at = stuck; reason = Route.No_live_neighbor }
+          | y :: rest ->
+              let h = h + 1 in
+              if h >= max_hops then
+                Route.Failed { hops = h; stuck_at = y; reason = Route.Hop_limit }
+              else begin
+                match best_neighbor net rows failures ~mode:`Any ~tried ~cur:y ~dst with
+                | Some (idx, v) ->
+                    record_tried y idx;
+                    forward v (h + 1) (trim (y :: rest))
+                | None -> backtrack y h rest
+              end
+        in
+        forward src 0 []
+end
+
+let run_route_throughput () =
+  let n = if full then 1 lsl 14 else 1 lsl 13 in
+  let links = 14 in
+  let messages = if smoke then 3_000 else if full then 60_000 else 30_000 in
+  section
+    (Printf.sprintf
+       "ROUTE THROUGHPUT — flat-CSR router vs the pre-refactor reference\n\
+        (n=%d, links=%d, %d messages per timing; same workload, same build)" n links messages);
+  (* The harness keeps telemetry on, but the reference router carries no
+     obs hooks — timing the production router with per-hop event emission
+     against it would measure the telemetry layer, not the layout change.
+     Both sides run with obs off and the previous mode is restored. *)
+  let obs_was = Ftr_obs.Flag.enabled () in
+  Ftr_obs.Flag.set_mode false;
+  Fun.protect ~finally:(fun () -> Ftr_obs.Flag.set_mode obs_was) @@ fun () ->
+  let rng = Rng.of_int seed in
+  let net = Network.build_ideal ~n ~links (Rng.split rng) in
+  (* The reference's storage model: one jagged row per node, built once. *)
+  let rows = Array.init n (Network.neighbors net) in
+  let mask = Ftr_core.Failure.random_node_fraction (Rng.split rng) ~n ~fraction:0.3 in
+  let failures = Ftr_core.Failure.of_node_mask mask in
+  let alive = Ftr_graph.Bitset.get mask in
+  let scratch = Route.scratch net in
+  let any r = (Rng.int r n, Rng.int r n) in
+  let live_pick r =
+    let rec go () =
+      let v = Rng.int r n in
+      if alive v then v else go ()
+    in
+    (go (), go ())
+  in
+  let json_rows = ref [] in
+  let run name ~failures ~strategy ~pick =
+    subsection name;
+    (* Agreement pass: identical pair streams through both routers; any
+       outcome divergence disqualifies the comparison. *)
+    let sample = min 2_000 messages in
+    let mismatches = ref 0 in
+    let pr_l = Rng.of_int (seed + 77) and pr_n = Rng.of_int (seed + 77) in
+    for _ = 1 to sample do
+      let src, dst = pick pr_l in
+      let src', dst' = pick pr_n in
+      let legacy = Legacy_route.route ~failures ~strategy net rows ~src ~dst in
+      let fresh = Route.route ~failures ~strategy ~scratch net ~src:src' ~dst:dst' in
+      if legacy <> fresh then incr mismatches
+    done;
+    let time router =
+      let pair_rng = Rng.of_int (seed + 78) in
+      for _ = 1 to min 2_000 messages do
+        let src, dst = pick pair_rng in
+        ignore (router ~src ~dst)
+      done;
+      let pair_rng = Rng.of_int (seed + 78) in
+      let hops = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to messages do
+        let src, dst = pick pair_rng in
+        hops := !hops + Route.hops (router ~src ~dst)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      float_of_int !hops /. dt
+    in
+    let legacy_hps = time (fun ~src ~dst -> Legacy_route.route ~failures ~strategy net rows ~src ~dst) in
+    let csr_hps = time (fun ~src ~dst -> Route.route ~failures ~strategy ~scratch net ~src ~dst) in
+    let speedup = csr_hps /. legacy_hps in
+    Printf.printf "legacy reference: %12.0f hops/s\n" legacy_hps;
+    Printf.printf "flat CSR router:  %12.0f hops/s\n" csr_hps;
+    Printf.printf "speedup: %.2fx%s\n%!" speedup
+      (if !mismatches = 0 then "" else Printf.sprintf "  [%d OUTCOME MISMATCHES]" !mismatches);
+    json_rows :=
+      ( name,
+        legacy_hps,
+        csr_hps,
+        speedup,
+        !mismatches = 0 )
+      :: !json_rows
+  in
+  run "healthy_terminate" ~failures:Ftr_core.Failure.none ~strategy:Route.Terminate ~pick:any;
+  run "fail30_backtrack5" ~failures ~strategy:(Route.Backtrack { history = 5 }) ~pick:live_pick;
+  let open Ftr_obs.Json in
+  let report =
+    Obj
+      [
+        ("n", Int n);
+        ("links", Int links);
+        ("messages", Int messages);
+        ("full_scale", Bool full);
+        ("smoke", Bool smoke);
+        ( "sections",
+          List
+            (List.rev_map
+               (fun (name, legacy_hps, csr_hps, speedup, same) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ("legacy_hops_per_second", Float legacy_hps);
+                     ("csr_hops_per_second", Float csr_hps);
+                     ("speedup", Float speedup);
+                     ("outcomes_identical", Bool same);
+                   ])
+               !json_rows) );
+      ]
+  in
+  let path = "BENCH_route.json" in
   let oc = open_out path in
   output_string oc (to_string report);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "[exec] wrote %s\n%!" path
+  Printf.printf "[route] wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -986,8 +1236,15 @@ let run_micro () =
    shows where the wall time went, alongside whatever metrics the layers
    recorded while the sections ran. *)
 let run_section name f =
-  Ftr_obs.Span.time name f;
-  Printf.printf "\n[obs] span report after %s:\n%s%!" name (Ftr_obs.Export.span_report ())
+  let selected =
+    match only_sections with
+    | None -> true
+    | Some names -> List.exists (fun s -> s = name || "bench." ^ s = name) names
+  in
+  if selected then begin
+    Ftr_obs.Span.time name f;
+    Printf.printf "\n[obs] span report after %s:\n%s%!" name (Ftr_obs.Export.span_report ())
+  end
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -1001,6 +1258,7 @@ let () =
   run_section "bench.figure6" run_figure6;
   run_section "bench.figure7" run_figure7;
   run_section "bench.table1" run_table1;
+  run_section "bench.route" run_route_throughput;
   run_section "bench.exec" run_exec;
   run_section "bench.lower_bound" run_lower_bound_machinery;
   run_section "bench.ablations" run_ablations;

@@ -579,23 +579,30 @@ let check_cmd =
     (* Static builders: structure, then goodness of fit to the 1/d law. *)
     let ideal = Network.build_ideal ~n ~links rng in
     report "ideal: structure" (Check.network ~expected_links:links ideal);
+    report "ideal: csr frame" (Check.csr ideal);
     if links > 0 then report "ideal: 1/d law" (Check.network_gof ideal);
     let ring = Network.build_ring ~n ~links rng in
     report "ring: structure" (Check.network ring);
+    report "ring: csr frame" (Check.csr ring);
     if links > 0 then report "ring: 1/d law" (Check.network_gof ring);
     let binom = Network.build_binomial ~n ~links ~present_p:0.7 rng in
     report "binomial: structure" (Check.network binom);
+    report "binomial: csr frame" (Check.csr binom);
     let det = Network.build_deterministic ~n ~base:2 in
     report "deterministic: structure" (Check.network ~multi_edges:`Forbidden det);
+    report "deterministic: csr frame" (Check.csr det);
     let geo = Network.build_geometric ~n ~base:2 in
     report "geometric: structure" (Check.network ~multi_edges:`Forbidden geo);
+    report "geometric: csr frame" (Check.csr geo);
     let chord = Network.build_chordlike ~n () in
     report "chordlike: structure"
       (Check.network ~multi_edges:`Forbidden ~ring:Check.Successor_only chord);
+    report "chordlike: csr frame" (Check.csr chord);
     (* The arrival heuristic needs at least one long link per node. *)
     if links > 0 then begin
       let heur = Ftr_core.Heuristic.build ~n ~links rng in
       report "heuristic: structure" (Check.network heur);
+      report "heuristic: csr frame" (Check.csr heur);
       (* The arrival process only approximates the law (Figure 5 shows the
          residual bias), so the heuristic gets looser thresholds. *)
       report "heuristic: 1/d law"

@@ -3,7 +3,8 @@ module Ring = Ftr_metric.Ring
 type t = {
   ring : Ring.t;
   nodes : int array; (* sorted identifiers of present nodes *)
-  fingers : int array array; (* fingers.(i).(j) = id of node i's j-th finger *)
+  finger_stride : int; (* fingers per node (= identifier bits m) *)
+  fingers : int array; (* flat: node i's finger j at slot i*stride + j *)
 }
 
 let ring_size t = Ring.size t.ring
@@ -44,21 +45,25 @@ let create ~ring_size ~node_ids =
     nodes;
   let m = bits_of ring_size in
   (* Finger j of a node with identifier u is the first node succeeding
-     u + 2^j (j = 0 is the immediate successor). *)
-  let fingers =
-    Array.map
-      (fun u ->
-        Array.init m (fun j ->
-            nodes.(successor_index nodes ring_size ((u + (1 lsl j)) mod ring_size))))
-      nodes
-  in
-  { ring = Ring.create ring_size; nodes; fingers }
+     u + 2^j (j = 0 is the immediate successor). Stored flat, one stride-m
+     segment per node, so routing scans a contiguous slice. *)
+  let fingers = Array.make (n * m) 0 in
+  Array.iteri
+    (fun i u ->
+      for j = 0 to m - 1 do
+        fingers.((i * m) + j) <-
+          nodes.(successor_index nodes ring_size ((u + (1 lsl j)) mod ring_size))
+      done)
+    nodes;
+  { ring = Ring.create ring_size; nodes; finger_stride = m; fingers }
 
 let create_full ~n =
   if n < 2 then invalid_arg "Chord.create_full: need at least two nodes";
   create ~ring_size:n ~node_ids:(Array.init n (fun i -> i))
 
-let fingers_of t ~id = t.fingers.(successor_index t.nodes (ring_size t) id)
+let fingers_of t ~id =
+  let i = successor_index t.nodes (ring_size t) id in
+  Array.sub t.fingers (i * t.finger_stride) t.finger_stride
 
 (* Greedy clockwise routing: forward to the finger that gets farthest
    around the ring without passing the target's node. One-sided by
@@ -70,16 +75,16 @@ let route ?(max_hops = 1_000_000) t ~src ~key =
     else if hops >= max_hops then None
     else begin
       let remaining = Ring.clockwise_distance t.ring ~src:cur ~dst:target in
-      let fingers = fingers_of t ~id:cur in
+      let base = successor_index t.nodes (ring_size t) cur * t.finger_stride in
       let best = ref cur and best_gain = ref 0 in
-      Array.iter
-        (fun f ->
-          let gain = Ring.clockwise_distance t.ring ~src:cur ~dst:f in
-          if gain > !best_gain && gain <= remaining then begin
-            best := f;
-            best_gain := gain
-          end)
-        fingers;
+      for j = 0 to t.finger_stride - 1 do
+        let f = t.fingers.(base + j) in
+        let gain = Ring.clockwise_distance t.ring ~src:cur ~dst:f in
+        if gain > !best_gain && gain <= remaining then begin
+          best := f;
+          best_gain := gain
+        end
+      done;
       if !best = cur then None (* cannot happen with finger 0 present *)
       else go !best (hops + 1)
     end
@@ -116,17 +121,18 @@ let route_with_failures ?(max_hops = 1_000_000) ?(successors = 1) t ~alive ~src 
     else begin
       let remaining = Ring.clockwise_distance t.ring ~src:cur ~dst:target in
       (* Farthest live finger that does not overshoot. *)
+      let base = successor_index t.nodes (ring_size t) cur * t.finger_stride in
       let best = ref cur and best_gain = ref 0 in
-      Array.iter
-        (fun f ->
-          if alive f then begin
-            let gain = Ring.clockwise_distance t.ring ~src:cur ~dst:f in
-            if gain > !best_gain && gain <= remaining then begin
-              best := f;
-              best_gain := gain
-            end
-          end)
-        (fingers_of t ~id:cur);
+      for j = 0 to t.finger_stride - 1 do
+        let f = t.fingers.(base + j) in
+        if alive f then begin
+          let gain = Ring.clockwise_distance t.ring ~src:cur ~dst:f in
+          if gain > !best_gain && gain <= remaining then begin
+            best := f;
+            best_gain := gain
+          end
+        end
+      done;
       if !best <> cur then go !best (hops + 1)
       else begin
         (* Every useful finger is dead: fall back to the successor list. *)

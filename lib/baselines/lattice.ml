@@ -1,10 +1,16 @@
 module Torus = Ftr_metric.Torus
+module Csr = Ftr_graph.Adjacency.Csr
 
-type t = { torus : Torus.t }
+type t = {
+  torus : Torus.t;
+  adj : Csr.t; (* lattice neighbours, flat, preserving [Torus.neighbors] order *)
+}
 
 let create ~dims ~side =
   if side < 3 then invalid_arg "Lattice.create: side must be >= 3";
-  { torus = Torus.create ~dims ~side }
+  let torus = Torus.create ~dims ~side in
+  let rows = Array.init (Torus.size torus) (fun u -> Array.of_list (Torus.neighbors torus u)) in
+  { torus; adj = Csr.of_rows rows }
 
 let torus t = t.torus
 
@@ -16,15 +22,21 @@ let size t = Torus.size t.torus
 let route ?(max_hops = 100_000_000) t ~src ~dst =
   if not (Torus.contains t.torus src && Torus.contains t.torus dst) then
     invalid_arg "Lattice.route: node off the torus";
+  let { Csr.offsets; targets } = t.adj in
   let rec go cur hops =
     if cur = dst then Some hops
     else if hops >= max_hops then None
     else begin
       let cd = Torus.distance t.torus cur dst in
-      let next =
-        List.find_opt (fun v -> Torus.distance t.torus v dst < cd) (Torus.neighbors t.torus cur)
-      in
-      match next with None -> None | Some v -> go v (hops + 1)
+      (* First neighbour (in [Torus.neighbors] order) strictly closer. *)
+      let next = ref (-1) in
+      let k = ref offsets.(cur) in
+      while !next < 0 && !k < offsets.(cur + 1) do
+        let v = targets.(!k) in
+        if Torus.distance t.torus v dst < cd then next := v;
+        incr k
+      done;
+      if !next < 0 then None else go !next (hops + 1)
     end
   in
   go src 0

@@ -8,7 +8,12 @@
    the cleanest comparison point against Theorem 14's digit-fixing on the
    line — the two are the same idea in different metrics. *)
 
-type t = { base : int; digits : int; size : int }
+type t = {
+  base : int;
+  digits : int;
+  size : int;
+  weights : int array; (* weights.(pos) = base^(digits-1-pos), pos 0 most significant *)
+}
 
 let create ~base ~digits =
   if base < 2 then invalid_arg "Plaxton.create: base must be >= 2";
@@ -16,7 +21,8 @@ let create ~base ~digits =
   let rec pow acc k = if k = 0 then acc else pow (acc * base) (k - 1) in
   let size = pow 1 digits in
   if size > 1 lsl 30 then invalid_arg "Plaxton.create: namespace too large";
-  { base; digits; size }
+  let weights = Array.init digits (fun pos -> pow 1 (digits - 1 - pos)) in
+  { base; digits; size; weights }
 
 let size t = t.size
 
@@ -29,8 +35,7 @@ let table_entries t = (t.base - 1) * t.digits
 let digit t id ~position =
   if position < 0 || position >= t.digits then invalid_arg "Plaxton.digit: bad position";
   (* position 0 is the most significant digit. *)
-  let rec shift v k = if k = 0 then v else shift (v / t.base) (k - 1) in
-  shift id (t.digits - 1 - position) mod t.base
+  id / t.weights.(position) mod t.base
 
 let check t id = if id < 0 || id >= t.size then invalid_arg "Plaxton: identifier out of range"
 
@@ -55,8 +60,7 @@ let next_hop t ~cur ~dst =
   else begin
     let pos = shared_prefix t cur dst in
     (* Replace cur's digit at [pos] with dst's. *)
-    let rec place_value k = if k = 0 then 1 else t.base * place_value (k - 1) in
-    let weight = place_value (t.digits - 1 - pos) in
+    let weight = t.weights.(pos) in
     let cur_digit = digit t cur ~position:pos in
     let dst_digit = digit t dst ~position:pos in
     Some (cur + ((dst_digit - cur_digit) * weight))

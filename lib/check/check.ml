@@ -66,6 +66,18 @@ let mem_sorted ns x =
   done;
   !lo < Array.length ns && ns.(!lo) = x
 
+(* Link membership via binary search directly on the CSR row — the trace
+   replay below asks this once per hop, and the flat form answers without
+   copying the row the way [Network.neighbors] now does. *)
+let mem_link net u x =
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  let lo = ref offsets.(u) and hi = ref offsets.(u + 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if targets.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo < offsets.(u + 1) && targets.(!lo) = x
+
 let network ?expected_links ?(multi_edges = `Allowed) ?(ring = Both_sides) net =
   let out = ref [] in
   let emit x = out := x :: !out in
@@ -126,6 +138,60 @@ let network ?expected_links ?(multi_edges = `Allowed) ?(ring = Both_sides) net =
                   "degree %d, expected %d (ℓ=%d long + %d ring)" (Array.length ns) expect
                   links (List.length (ring_expected i))))
   done;
+  List.rev !out
+
+(* The flat CSR storage behind [Network]: offsets must be a monotone
+   prefix-sum frame over the target array, every target a valid node
+   index, every row sorted, and the [neighbors] copy shim must agree with
+   the row the routing inner loop actually scans. [Adjacency.Csr.validate]
+   fails fast on the frame invariants at construction time; this validator
+   is the exhaustive after-the-fact battery form. *)
+let csr net =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  let n = Network.size net in
+  if Array.length offsets <> n + 1 then
+    emit (violation "csr.offsets-length" "offsets"
+            "length %d, expected n+1 = %d" (Array.length offsets) (n + 1));
+  if Array.length offsets > 0 && offsets.(0) <> 0 then
+    emit (violation "csr.offsets-start" "offsets" "offsets.(0) = %d, expected 0" offsets.(0));
+  for i = 0 to min n (Array.length offsets - 1) - 1 do
+    if offsets.(i + 1) < offsets.(i) then
+      emit (violation "csr.offsets-monotone" (Printf.sprintf "node %d" i)
+              "offsets.(%d) = %d decreases from offsets.(%d) = %d" (i + 1)
+              offsets.(i + 1) i offsets.(i))
+  done;
+  if Array.length offsets = n + 1 && offsets.(n) <> Array.length targets then
+    emit (violation "csr.edge-count" "offsets"
+            "offsets.(n) = %d but targets has %d entries" offsets.(n) (Array.length targets));
+  Array.iteri
+    (fun k v ->
+      if v < 0 || v >= n then
+        emit (violation "csr.target-range" (Printf.sprintf "slot %d" k)
+                "target %d outside [0,%d)" v n))
+    targets;
+  if Array.length offsets = n + 1 then
+    for i = 0 to n - 1 do
+      for k = offsets.(i) + 1 to offsets.(i + 1) - 1 do
+        if k > 0 && k < Array.length targets && targets.(k - 1) > targets.(k) then
+          emit (violation "csr.row-unsorted" (Printf.sprintf "node %d" i)
+                  "row entries at slots %d,%d out of order (%d > %d)" (k - 1) k
+                  targets.(k - 1) targets.(k))
+      done;
+      let row = Network.neighbors net i in
+      let deg = offsets.(i + 1) - offsets.(i) in
+      if Array.length row <> deg then
+        emit (violation "csr.shim-divergence" (Printf.sprintf "node %d" i)
+                "neighbors returns %d entries, CSR row has %d" (Array.length row) deg)
+      else
+        for k = 0 to deg - 1 do
+          if row.(k) <> targets.(offsets.(i) + k) then
+            emit (violation "csr.shim-divergence" (Printf.sprintf "node %d" i)
+                    "neighbors entry %d is %d, CSR row holds %d" k row.(k)
+                    targets.(offsets.(i) + k))
+        done
+    done;
   List.rev !out
 
 (* Goodness of fit of the long-link length distribution against the 1/d^a
@@ -277,7 +343,7 @@ let trace ?(side = Route.Two_sided) ?(strategy = Route.Terminate) ?failures net 
   let check_edge k a b =
     if a = b then
       emit (violation "trace.self-hop" (Printf.sprintf "hop %d" k) "hop from %d to itself" a)
-    else if not (mem_sorted (Network.neighbors net a) b) then
+    else if not (mem_link net a b) then
       emit (violation "trace.not-a-link" (Printf.sprintf "hop %d (%d->%d)" k a b)
               "no link %d->%d in the network" a b)
   in
@@ -334,10 +400,7 @@ let trace ?(side = Route.Two_sided) ?(strategy = Route.Terminate) ?failures net 
       let check_pop_edge k a b =
         (* A pop retraces an earlier forward move b->a, so the link may
            exist in either direction. *)
-        if
-          (not (mem_sorted (Network.neighbors net a) b))
-          && not (mem_sorted (Network.neighbors net b) a)
-        then
+        if (not (mem_link net a b)) && not (mem_link net b a) then
           emit (violation "trace.not-a-link" (Printf.sprintf "hop %d (%d->%d)" k a b)
                   "backtrack move with no link %d->%d in either direction" a b)
       in
@@ -350,7 +413,7 @@ let trace ?(side = Route.Two_sided) ?(strategy = Route.Terminate) ?failures net 
                 window := wrest;
                 full := frest;
                 greedy_prefix := false
-            | _, f :: frest when f = b && not (mem_sorted (Network.neighbors net a) b) ->
+            | _, f :: frest when f = b && not (mem_link net a b) ->
                 (* No forward link a->b, so this can only be a retrace of
                    the earlier b->a move — a pop to an ancestor that the
                    trimmed window no longer holds. (With a forward link the

@@ -36,35 +36,38 @@ let route_misroute ?(max_hops = 1_000) net ~byzantine ~src ~dst =
   if byzantine src || byzantine dst then
     invalid_arg "Byzantine.route_misroute: endpoint is Byzantine";
   let dist v = Network.distance net v dst in
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
   let rec go cur h sabotaged =
     if cur = dst then Delivered { hops = h; wasted = sabotaged }
     else if h >= max_hops then Failed { hops = h; wasted = sabotaged }
     else if byzantine cur then begin
       (* Sabotage: hand the message to the worst neighbour. *)
-      let ns = Network.neighbors net cur in
-      let worst = ref ns.(0) and worst_d = ref (dist ns.(0)) in
-      Array.iter
-        (fun v ->
-          let d = dist v in
-          if d > !worst_d then begin
-            worst := v;
-            worst_d := d
-          end)
-        ns;
+      if offsets.(cur + 1) = offsets.(cur) then
+        invalid_arg "Byzantine.route_misroute: node has no neighbours";
+      let first = targets.(offsets.(cur)) in
+      let worst = ref first and worst_d = ref (dist first) in
+      for k = offsets.(cur) to offsets.(cur + 1) - 1 do
+        let v = targets.(k) in
+        let d = dist v in
+        if d > !worst_d then begin
+          worst := v;
+          worst_d := d
+        end
+      done;
       go !worst (h + 1) (sabotaged + 1)
     end
     else begin
       (* Honest greedy step. *)
       let cur_d = dist cur in
       let best = ref (-1) and best_d = ref cur_d in
-      Array.iter
-        (fun v ->
-          let d = dist v in
-          if d < !best_d then begin
-            best := v;
-            best_d := d
-          end)
-        (Network.neighbors net cur);
+      for k = offsets.(cur) to offsets.(cur + 1) - 1 do
+        let v = targets.(k) in
+        let d = dist v in
+        if d < !best_d then begin
+          best := v;
+          best_d := d
+        end
+      done;
       if !best < 0 then Failed { hops = h; wasted = sabotaged } else go !best (h + 1) sabotaged
     end
   in
@@ -74,26 +77,28 @@ let route ?(defense = Naive) ?(max_hops = 1_000_000) net ~byzantine ~src ~dst =
   if src < 0 || src >= Network.size net || dst < 0 || dst >= Network.size net then
     invalid_arg "Byzantine.route: node out of range";
   if byzantine src || byzantine dst then invalid_arg "Byzantine.route: endpoint is Byzantine";
-  let tried : (int, int list) Hashtbl.t = Hashtbl.create 16 in
-  let excluded cur = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
-  let record cur idx = Hashtbl.replace tried cur (idx :: excluded cur) in
+  (* Tried links keyed by their CSR slot — a flat int key per (node, idx)
+     pair, so membership is one hash probe instead of a List.mem walk. *)
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let record cur idx = Hashtbl.replace tried (offsets.(cur) + idx) () in
   let dist v = Network.distance net v dst in
   (* Senders cannot see who is Byzantine, so candidates include them. *)
   let best ~any cur =
     let limit = if any then max_int else dist cur in
-    let ex = excluded cur in
+    let base = offsets.(cur) in
     let best = ref (-1) and best_idx = ref (-1) and best_d = ref limit in
-    Array.iteri
-      (fun idx v ->
-        if not (List.mem idx ex) then begin
-          let d = dist v in
-          if d < !best_d then begin
-            best := v;
-            best_idx := idx;
-            best_d := d
-          end
-        end)
-      (Network.neighbors net cur);
+    for k = 0 to offsets.(cur + 1) - base - 1 do
+      let v = targets.(base + k) in
+      if not (Hashtbl.mem tried (base + k)) then begin
+        let d = dist v in
+        if d < !best_d then begin
+          best := v;
+          best_idx := k;
+          best_d := d
+        end
+      end
+    done;
     if !best < 0 then None else Some (!best_idx, !best)
   in
   match defense with

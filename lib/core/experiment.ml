@@ -39,11 +39,14 @@ let measure ?(failures = Failure.none) ?(side = Route.Two_sided) ?(strategy = Ro
         in
         (src, dst_loop 0)
   in
+  (* One scratch for the whole batch keeps backtracking runs off the
+     minor heap (see {!Route.scratch}). *)
+  let scratch = Route.scratch net in
   for i = 0 to messages - 1 do
     let src, dst = pair i in
     let path = ref [ src ] in
     let on_hop v = path := v :: !path in
-    match Route.route ~failures ~side ~strategy ~rng ~on_hop net ~src ~dst with
+    match Route.route ~failures ~side ~strategy ~rng ~on_hop ~scratch net ~src ~dst with
     | Route.Delivered { hops = h } ->
         Summary.add_int hops h;
         Summary.add_int path_hops (Route.loop_erased_length (List.rev !path))
@@ -556,11 +559,14 @@ let measure_par ?(failures = Failure.none) ?(side = Route.Two_sided)
     Pool.map_seeded ?jobs ~seed ~count:shards (fun ~index ~rng ->
         let lo = index * messages / shards and hi = (index + 1) * messages / shards in
         let failed = ref 0 and hops = ref [] and path_hops = ref [] in
+        (* Per-shard scratch: jobs may run on different domains, and
+           scratch state must never be shared across them. *)
+        let scratch = Route.scratch net in
         for i = lo to hi - 1 do
           let src, dst = pairs.(i) in
           let path = ref [ src ] in
           let on_hop v = path := v :: !path in
-          (match Route.route ~failures ~side ~strategy ~rng ~on_hop net ~src ~dst with
+          (match Route.route ~failures ~side ~strategy ~rng ~on_hop ~scratch net ~src ~dst with
           | Route.Delivered { hops = h } ->
               hops := h :: !hops;
               path_hops := Route.loop_erased_length (List.rev !path) :: !path_hops

@@ -1,13 +1,22 @@
 module Bitset = Ftr_graph.Bitset
 
-type t = {
-  node_alive : int -> bool;
-  link_alive : src:int -> idx:int -> bool;
-}
+type link_mask = { offsets : int array; bits : Bitset.t }
 
-let none = { node_alive = (fun _ -> true); link_alive = (fun ~src:_ ~idx:_ -> true) }
+let link_mask_alive m ~src ~idx = Bitset.get m.bits (m.offsets.(src) + idx)
 
-let of_node_mask mask = { none with node_alive = Bitset.get mask }
+(* The hot routing loop wants to test a bit, not call a closure; the views
+   below expose the concrete masks behind the two common failure models so
+   [Route] can specialise, while arbitrary predicates stay expressible as
+   the general fallback. *)
+type node_view = N_all | N_bits of Bitset.t | N_pred of (int -> bool)
+
+type link_view = L_all | L_mask of link_mask | L_pred of (src:int -> idx:int -> bool)
+
+type t = { node_view : node_view; link_view : link_view }
+
+let none = { node_view = N_all; link_view = L_all }
+
+let of_node_mask mask = { none with node_view = N_bits mask }
 
 let random_node_fraction rng ~n ~fraction =
   if fraction < 0.0 || fraction >= 1.0 then
@@ -32,43 +41,59 @@ let bernoulli_node_mask rng ~n ~death_p =
   done;
   mask
 
-type link_mask = { offsets : int array; bits : Bitset.t }
-
-let link_mask_alive m ~src ~idx = Bitset.get m.bits (m.offsets.(src) + idx)
-
 let random_link_mask rng net ~present_p =
   if present_p < 0.0 || present_p > 1.0 then
     invalid_arg "Failure.random_link_mask: present_p must be in [0,1]";
   let n = Network.size net in
-  let offsets = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    offsets.(i + 1) <- offsets.(i) + Array.length (Network.neighbors net i)
-  done;
+  (* The network's CSR offsets are exactly the per-link slot layout; share
+     the array instead of recomputing it (read-only on both sides). *)
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
   let bits = Bitset.create offsets.(n) in
   for i = 0 to n - 1 do
-    let ns = Network.neighbors net i in
-    Array.iteri
-      (fun idx j ->
-        (* The links to the nearest neighbour on either side are assumed
-           always present (Theorems 15 and 16). *)
-        let immediate = j = i - 1 || j = i + 1 in
-        if immediate || Ftr_prng.Rng.bernoulli rng present_p then
-          Bitset.set bits (offsets.(i) + idx))
-      ns
+    for k = offsets.(i) to offsets.(i + 1) - 1 do
+      let j = targets.(k) in
+      (* The links to the nearest neighbour on either side are assumed
+         always present (Theorems 15 and 16). *)
+      let immediate = j = i - 1 || j = i + 1 in
+      if immediate || Ftr_prng.Rng.bernoulli rng present_p then Bitset.set bits k
+    done
   done;
   { offsets; bits }
 
-let of_link_mask m = { none with link_alive = link_mask_alive m }
+let of_link_mask m = { none with link_view = L_mask m }
+
+let node_alive t i =
+  match t.node_view with N_all -> true | N_bits b -> Bitset.get b i | N_pred f -> f i
+
+let link_alive t ~src ~idx =
+  match t.link_view with
+  | L_all -> true
+  | L_mask m -> link_mask_alive m ~src ~idx
+  | L_pred f -> f ~src ~idx
 
 let compose a b =
+  let node_view =
+    match (a.node_view, b.node_view) with
+    | N_all, v | v, N_all -> v
+    | _, _ -> N_pred (fun i -> node_alive a i && node_alive b i)
+  in
+  let link_view =
+    match (a.link_view, b.link_view) with
+    | L_all, v | v, L_all -> v
+    | _, _ -> L_pred (fun ~src ~idx -> link_alive a ~src ~idx && link_alive b ~src ~idx)
+  in
+  { node_view; link_view }
+
+let make ?node_alive ?link_alive () =
   {
-    node_alive = (fun i -> a.node_alive i && b.node_alive i);
-    link_alive = (fun ~src ~idx -> a.link_alive ~src ~idx && b.link_alive ~src ~idx);
+    node_view = (match node_alive with None -> N_all | Some f -> N_pred f);
+    link_view = (match link_alive with None -> L_all | Some f -> L_pred f);
   }
 
-let make ?(node_alive = fun _ -> true) ?(link_alive = fun ~src:_ ~idx:_ -> true) () =
-  { node_alive; link_alive }
+let node_alive_bits t = match t.node_view with N_bits b -> Some b | N_all | N_pred _ -> None
 
-let node_alive t i = t.node_alive i
+let node_all_alive t = match t.node_view with N_all -> true | N_bits _ | N_pred _ -> false
 
-let link_alive t ~src ~idx = t.link_alive ~src ~idx
+let link_alive_mask t = match t.link_view with L_mask m -> Some m | L_all | L_pred _ -> None
+
+let link_all_alive t = match t.link_view with L_all -> true | L_mask _ | L_pred _ -> false

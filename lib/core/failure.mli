@@ -21,7 +21,10 @@ val link_alive : t -> src:int -> idx:int -> bool
 (** Whether the [idx]-th outgoing link of [src] is usable. *)
 
 val compose : t -> t -> t
-(** Both views must agree that an entity is alive. *)
+(** Both views must agree that an entity is alive. Concrete fast-path forms
+    survive composition with {!none}-like views; any other combination
+    falls back to the general closure form. *)
+
 
 (** {1 Node failures (Section 6, Theorem 18)} *)
 
@@ -50,3 +53,23 @@ val link_mask_alive : link_mask -> src:int -> idx:int -> bool
 
 val of_link_mask : link_mask -> t
 (** Failure view from a link mask. *)
+
+(** {1 Fast-path views}
+
+    The routing inner loop tests liveness millions of times; these
+    accessors expose the concrete masks behind the common failure models so
+    the loop can test a bit directly instead of calling a closure. Each
+    returns [None] (or [false]) when the view is the general closure form,
+    in which case callers must go through {!node_alive}/{!link_alive}. *)
+
+val node_alive_bits : t -> Ftr_graph.Bitset.t option
+(** The aliveness bitset behind {!of_node_mask} views (set bit = alive). *)
+
+val node_all_alive : t -> bool
+(** Whether the node view is statically "everything alive". *)
+
+val link_alive_mask : t -> link_mask option
+(** The per-link mask behind {!of_link_mask} views. *)
+
+val link_all_alive : t -> bool
+(** Whether the link view is statically "everything alive". *)

@@ -221,8 +221,7 @@ let repair ?(exponent = 1.0) ~alive net rng =
            index; later duplicates are genuine long links. The new ring
            above replaces them. *)
         let seen_left = ref false and seen_right = ref false in
-        Array.iter
-          (fun v ->
+        Network.iter_neighbors net old_i (fun v ->
             let is_ring =
               (v = old_i - 1 && (not !seen_left)
               &&
@@ -236,8 +235,7 @@ let repair ?(exponent = 1.0) ~alive net rng =
             in
             if not is_ring then
               if alive v then long := index_of.(v) :: !long
-              else long := sample_live_index ~src_pos:pos ~self:new_i :: !long)
-          (Network.neighbors net old_i);
+              else long := sample_live_index ~src_pos:pos ~self:new_i :: !long);
         let arr = Array.of_list (List.rev_append immediate !long) in
         Array.sort compare arr;
         arr)

@@ -1,9 +1,10 @@
 module Torus = Ftr_metric.Torus
 module Sample = Ftr_prng.Sample
+module Csr = Ftr_graph.Adjacency.Csr
 
 type t = {
   torus : Torus.t;
-  neighbors : int array array;
+  adj : Csr.t; (* sorted per-row neighbour indices, flat form *)
   links : int;
   alpha : float;
 }
@@ -18,7 +19,7 @@ let links t = t.links
 
 let alpha t = t.alpha
 
-let neighbors t u = t.neighbors.(u)
+let neighbors t u = Csr.row t.adj u
 
 (* Offset table shared by all nodes: every non-zero offset vector weighted
    by d(offset)^-alpha, where d is the wraparound L1 distance. Kleinberg's
@@ -55,7 +56,7 @@ let build ?alpha ?(links = 1) ~dims ~side rng =
   let torus = Torus.create ~dims ~side in
   let alpha = match alpha with Some a -> a | None -> float_of_int dims in
   let offsets, cdf = build_offset_cdf torus ~alpha in
-  let neighbors =
+  let rows =
     Array.init (Torus.size torus) (fun u ->
         let lattice = Torus.neighbors torus u in
         let long = ref [] in
@@ -67,7 +68,7 @@ let build ?alpha ?(links = 1) ~dims ~side rng =
         Array.sort compare arr;
         arr)
   in
-  { torus; neighbors; links; alpha }
+  { torus; adj = Csr.of_rows rows; links; alpha }
 
 type outcome = Delivered of { hops : int } | Failed of { hops : int; stuck_at : int }
 
@@ -87,28 +88,30 @@ let route ?(alive = fun _ -> true) ?(strategy = Terminate) ?(max_hops = 1_000_00
     invalid_arg "Multidim.route: node off the torus";
   if not (alive src && alive dst) then invalid_arg "Multidim.route: endpoint is dead";
   let dist u = Torus.distance t.torus u dst in
-  let tried : (int, int list) Hashtbl.t = Hashtbl.create 16 in
-  let excluded cur = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
+  (* Tried links keyed by their flat CSR slot: one hash probe per
+     candidate instead of a List.mem walk over a per-node list. *)
+  let { Csr.offsets; targets } = t.adj in
+  let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let best ~any cur =
     let limit = if any then max_int else dist cur in
-    let ex = excluded cur in
+    let base = offsets.(cur) in
     let best = ref (-1) and best_idx = ref (-1) and best_d = ref limit in
-    Array.iteri
-      (fun idx v ->
-        if alive v && not (List.mem idx ex) then begin
-          let d = dist v in
-          if d < !best_d then begin
-            best := v;
-            best_idx := idx;
-            best_d := d
-          end
-        end)
-      t.neighbors.(cur);
+    for k = 0 to offsets.(cur + 1) - base - 1 do
+      let v = targets.(base + k) in
+      if alive v && not (Hashtbl.mem tried (base + k)) then begin
+        let d = dist v in
+        if d < !best_d then begin
+          best := v;
+          best_idx := k;
+          best_d := d
+        end
+      end
+    done;
     if !best < 0 then None else Some (!best_idx, !best)
   in
   let record cur idx =
     match strategy with
-    | Backtrack _ -> Hashtbl.replace tried cur (idx :: excluded cur)
+    | Backtrack _ -> Hashtbl.replace tried (offsets.(cur) + idx) ()
     | Terminate -> ()
   in
   match strategy with

@@ -32,7 +32,8 @@ val alpha : t -> float
 (** Exponent of the link-length law. *)
 
 val neighbors : t -> int -> int array
-(** Sorted neighbour list (do not mutate). *)
+(** Fresh copy of the sorted neighbour row (the storage itself is flat
+    CSR, as in {!Network}). *)
 
 type outcome = Delivered of { hops : int } | Failed of { hops : int; stuck_at : int }
 

@@ -1,10 +1,16 @@
+module Csr = Ftr_graph.Adjacency.Csr
+
 type geometry = Line | Circle
 
+(* Neighbour lists live in one flat CSR pair (node [i]'s row is
+   [adj.targets.(adj.offsets.(i)) .. adj.targets.(adj.offsets.(i+1)-1)],
+   sorted): the routing inner loop scans a contiguous block instead of
+   chasing [n] separately boxed rows. *)
 type t = {
   geometry : geometry;
   line_size : int; (* number of grid points of the underlying space *)
   positions : int array;
-  neighbors : int array array; (* neighbor *indices* into [positions], sorted *)
+  adj : Csr.t; (* neighbor *indices* into [positions], per-row sorted *)
   links : int;
 }
 
@@ -16,7 +22,17 @@ let links t = t.links
 
 let position t i = t.positions.(i)
 
-let neighbors t i = t.neighbors.(i)
+let positions t = t.positions
+
+let neighbors t i = Csr.row t.adj i
+
+let degree t i = Csr.degree t.adj i
+
+let neighbor t i k = Csr.nth t.adj i k
+
+let iter_neighbors t i f = Csr.iter_row t.adj i f
+
+let csr t = t.adj
 
 let geometry t = t.geometry
 
@@ -95,7 +111,7 @@ let index_of_position t ~position =
   let i = nearest_index t ~position in
   if t.positions.(i) = position then Some i else None
 
-let to_adjacency t = Ftr_graph.Adjacency.of_arrays t.neighbors
+let to_adjacency t = Ftr_graph.Adjacency.of_csr t.adj
 
 (* Sanitizer hook: structural invariants every builder must establish —
    sorted in-range neighbour lists without self-links, and the short-link
@@ -106,25 +122,35 @@ let to_adjacency t = Ftr_graph.Adjacency.of_arrays t.neighbors
    per-builder policies lives in Ftr_check.Check. *)
 let debug_validate t =
   let n = Array.length t.positions in
-  let contains ns x = Array.exists (fun v -> v = x) ns in
+  let { Csr.offsets; targets } = t.adj in
+  if Array.length offsets <> n + 1 || offsets.(0) <> 0 || offsets.(n) <> Array.length targets
+  then Ftr_debug.Debug.failf "Network: CSR offsets malformed";
   for i = 0 to n - 1 do
-    let ns = t.neighbors.(i) in
-    Array.iteri
-      (fun k j ->
-        if j < 0 || j >= n then
-          Ftr_debug.Debug.failf "Network: node %d links to non-node %d" i j;
-        if j = i then Ftr_debug.Debug.failf "Network: node %d links to itself" i;
-        if k > 0 && ns.(k - 1) > j then
-          Ftr_debug.Debug.failf "Network: node %d neighbour list unsorted at entry %d" i k)
-      ns;
+    if offsets.(i + 1) < offsets.(i) then
+      Ftr_debug.Debug.failf "Network: CSR offsets decrease at row %d" i;
+    let lo = offsets.(i) and hi = offsets.(i + 1) in
+    let contains x =
+      let found = ref false in
+      for k = lo to hi - 1 do
+        if targets.(k) = x then found := true
+      done;
+      !found
+    in
+    for k = lo to hi - 1 do
+      let j = targets.(k) in
+      if j < 0 || j >= n then Ftr_debug.Debug.failf "Network: node %d links to non-node %d" i j;
+      if j = i then Ftr_debug.Debug.failf "Network: node %d links to itself" i;
+      if k > lo && targets.(k - 1) > j then
+        Ftr_debug.Debug.failf "Network: node %d neighbour list unsorted at entry %d" i (k - lo)
+    done;
     match t.geometry with
     | Line ->
-        if i > 0 && not (contains ns (i - 1)) then
+        if i > 0 && not (contains (i - 1)) then
           Ftr_debug.Debug.failf "Network: node %d missing ring link to %d" i (i - 1);
-        if i < n - 1 && not (contains ns (i + 1)) then
+        if i < n - 1 && not (contains (i + 1)) then
           Ftr_debug.Debug.failf "Network: node %d missing ring link to %d" i (i + 1)
     | Circle ->
-        if n > 1 && not (contains ns ((i + 1) mod n)) then
+        if n > 1 && not (contains ((i + 1) mod n)) then
           Ftr_debug.Debug.failf "Network: node %d missing ring link to successor %d" i
             ((i + 1) mod n)
   done
@@ -132,6 +158,11 @@ let debug_validate t =
 let checked t =
   if Ftr_debug.Debug.enabled () then debug_validate t;
   t
+
+(* Every builder assembles per-node rows and hands them here; the CSR
+   flattening is the only place the flat pair is built. *)
+let make ~geometry ~line_size ~positions ~rows ~links =
+  checked { geometry; line_size; positions; adj = Csr.of_rows rows; links }
 
 let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~links () =
   let n = Array.length positions in
@@ -147,7 +178,7 @@ let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~lin
     (Array.iter (fun j ->
          if j < 0 || j >= n then invalid_arg "Network.of_neighbor_indices: neighbor out of range"))
     neighbors;
-  checked { geometry; line_size; positions; neighbors; links }
+  make ~geometry ~line_size ~positions ~rows:neighbors ~links
 
 (* Draw a long-distance target for the node at position [src]: a point [v]
    distinct from [src] with Pr[v] proportional to 1/d(src,v)^exponent,
@@ -187,7 +218,7 @@ let build_ideal ?(exponent = 1.0) ~n ~links rng =
         done;
         finish_node ~immediate ~long:!long)
   in
-  checked { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  make ~geometry:Line ~line_size:n ~positions:(Array.init n (fun i -> i)) ~rows:neighbors ~links
 
 let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
   if n < 2 then invalid_arg "Network.build_binomial: need at least two positions";
@@ -254,7 +285,7 @@ let build_binomial ?(exponent = 1.0) ~n ~links ~present_p rng =
         done;
         finish_node ~immediate ~long:!long)
   in
-  checked { geometry = Line; line_size = n; positions; neighbors; links }
+  make ~geometry:Line ~line_size:n ~positions ~rows:neighbors ~links
 
 let ceil_log ~base n =
   if base < 2 then invalid_arg "Network.ceil_log: base must be >= 2";
@@ -290,7 +321,7 @@ let build_deterministic ~n ~base =
         Array.of_list (List.rev !uniq))
   in
   let links = (base - 1) * digits in
-  checked { geometry = Line; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  make ~geometry:Line ~line_size:n ~positions:(Array.init n (fun i -> i)) ~rows:neighbors ~links
 
 let build_geometric ~n ~base =
   if n < 2 then invalid_arg "Network.build_geometric: need at least two nodes";
@@ -314,39 +345,31 @@ let build_geometric ~n ~base =
           arr;
         Array.of_list (List.rev !uniq))
   in
-  checked
-    {
-      geometry = Line;
-      line_size = n;
-      positions = Array.init n (fun i -> i);
-      neighbors;
-      links = ceil_log ~base n;
-    }
+  make ~geometry:Line ~line_size:n
+    ~positions:(Array.init n (fun i -> i))
+    ~rows:neighbors ~links:(ceil_log ~base n)
 
 (* Lengths of all links except the two ring links (the nearest present node
    on each side); these are the long-distance links whose distribution
    Figure 5 plots. *)
 let long_link_lengths t =
   let result = ref [] in
-  Array.iteri
-    (fun i ns ->
-      let n = size t in
-      let ring_left, ring_right =
-        match t.geometry with
-        | Line ->
-            ((if i > 0 then Some (i - 1) else None), if i < n - 1 then Some (i + 1) else None)
-        | Circle -> (Some ((i - 1 + n) mod n), Some ((i + 1) mod n))
-      in
-      let seen_left = ref false and seen_right = ref false in
-      Array.iter
-        (fun j ->
-          let is_ring =
-            (Some j = ring_left && not !seen_left && (seen_left := true; true))
-            || (Some j = ring_right && not !seen_right && (seen_right := true; true))
-          in
-          if not is_ring then result := distance t i j :: !result)
-        ns)
-    t.neighbors;
+  let n = size t in
+  for i = 0 to n - 1 do
+    let ring_left, ring_right =
+      match t.geometry with
+      | Line ->
+          ((if i > 0 then Some (i - 1) else None), if i < n - 1 then Some (i + 1) else None)
+      | Circle -> (Some ((i - 1 + n) mod n), Some ((i + 1) mod n))
+    in
+    let seen_left = ref false and seen_right = ref false in
+    Csr.iter_row t.adj i (fun j ->
+        let is_ring =
+          (Some j = ring_left && not !seen_left && (seen_left := true; true))
+          || (Some j = ring_right && not !seen_right && (seen_right := true; true))
+        in
+        if not is_ring then result := distance t i j :: !result)
+  done;
   !result
 
 (* A full circle of [n] nodes: every node linked to both ring neighbours
@@ -386,7 +409,7 @@ let build_ring ?(exponent = 1.0) ~n ~links rng =
         Array.sort compare arr;
         arr)
   in
-  checked { geometry = Circle; line_size = n; positions = Array.init n (fun i -> i); neighbors; links }
+  make ~geometry:Circle ~line_size:n ~positions:(Array.init n (fun i -> i)) ~rows:neighbors ~links
 
 (* Chord as an instance of this framework (Section 3: Chord's nodes "can be
    thought of as embedded on grid points on a real circle"): clockwise
@@ -419,11 +442,7 @@ let build_chordlike ?(base = 2) ?(predecessor = false) ~n () =
           arr;
         Array.of_list (List.rev !uniq))
   in
-  checked
-    {
-      geometry = Circle;
-      line_size = n;
-      positions = Array.init n (fun i -> i);
-      neighbors;
-      links = (base - 1) * ceil_log ~base n;
-    }
+  make ~geometry:Circle ~line_size:n
+    ~positions:(Array.init n (fun i -> i))
+    ~rows:neighbors
+    ~links:((base - 1) * ceil_log ~base n)

@@ -39,9 +39,39 @@ val position : t -> int -> int
 (** Line position of node index [i]. On full networks this is the
     identity. *)
 
+val positions : t -> int array
+(** The full strictly increasing position array (no copy — do not mutate).
+    [positions t].(i) = [position t i]; exposed, like {!csr}, so hot loops
+    can compute distances without a call per candidate. *)
+
 val neighbors : t -> int -> int array
-(** Sorted array of neighbour indices (may contain duplicates when several
-    sampled links landed on the same node). Do not mutate. *)
+(** Fresh copy of a node's sorted neighbour-index row. The row is sorted
+    non-decreasing; the {b duplicate guarantee} is per builder: the random
+    builders ({!build_ideal}, {!build_binomial}, {!build_ring}) keep one
+    entry per sampled link, so a row may contain duplicates when several
+    independent draws landed on the same node (the multiplicity is part of
+    the sampled distribution and of the routing semantics); the structural
+    builders ({!build_deterministic}, {!build_geometric},
+    {!build_chordlike}) produce strictly increasing, duplicate-free rows.
+    The Check battery enforces exactly this policy per builder. Since the
+    move to flat CSR storage this function copies; hot paths should use
+    {!degree}/{!neighbor}/{!iter_neighbors} or {!csr} instead. *)
+
+val degree : t -> int -> int
+(** Number of neighbour entries of a node (duplicates counted). *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t i k] is the [k]-th entry of node [i]'s sorted row,
+    [0 <= k < degree t i]. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** Apply to every neighbour entry of a node in row order, without
+    copying. *)
+
+val csr : t -> Ftr_graph.Adjacency.Csr.t
+(** The underlying flat CSR pair (no copy — do not mutate). Node [i]'s row
+    is [targets.(offsets.(i)) .. targets.(offsets.(i+1)-1)], sorted. This
+    is the representation the routing inner loop scans. *)
 
 val is_full : t -> bool
 (** Whether every line position hosts a node. *)

@@ -8,7 +8,7 @@ module Summary = Ftr_stats.Summary
 let out_degree_summary net =
   let s = Summary.create () in
   for i = 0 to Network.size net - 1 do
-    Summary.add_int s (Array.length (Network.neighbors net i))
+    Summary.add_int s (Network.degree net i)
   done;
   s
 
@@ -16,7 +16,7 @@ let in_degrees net =
   let n = Network.size net in
   let degrees = Array.make n 0 in
   for i = 0 to n - 1 do
-    Array.iter (fun j -> degrees.(j) <- degrees.(j) + 1) (Network.neighbors net i)
+    Network.iter_neighbors net i (fun j -> degrees.(j) <- degrees.(j) + 1)
   done;
   degrees
 
@@ -63,8 +63,7 @@ let boundary_distortion net =
           | Network.Circle -> ((i - 1 + n) mod n, (i + 1) mod n)
         in
         let seen_left = ref false and seen_right = ref false in
-        Array.iter
-          (fun j ->
+        Network.iter_neighbors net i (fun j ->
             let is_ring =
               (j = ring_left && not !seen_left
               &&
@@ -77,7 +76,6 @@ let boundary_distortion net =
                   true)
             in
             if not is_ring then Summary.add_int s (Network.distance net i j))
-          (Network.neighbors net i)
   done;
   Summary.mean edge /. Summary.mean middle
 

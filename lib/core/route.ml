@@ -1,3 +1,5 @@
+module Bitset = Ftr_graph.Bitset
+
 type side = One_sided | Two_sided
 
 type strategy =
@@ -20,48 +22,41 @@ let reason_label = function
   | Hop_limit -> "hop_limit"
   | No_live_reroute_target -> "no_live_reroute_target"
 
-(* Best live neighbour of [cur], subject to the one-sided no-overshoot rule
-   when requested and to the per-node exclusion list used by backtracking.
-   In [`Strict] mode only neighbours strictly closer to [dst] qualify (the
-   greedy rule); in [`Any] mode every untried live neighbour qualifies,
-   still ranked by distance to [dst] — used when resuming from a
-   backtracked node, where the "next best neighbour" may have to route
-   around a hole. Returns the winning (index-into-neighbors, node) pair.
-   Ties go to the first candidate in sorted-position order, matching "ties
-   broken arbitrarily" (Section 4.2.1) deterministically. *)
-let best_neighbor net failures ~side ~mode ~tried ~cur ~dst =
-  let rd = match side with One_sided -> `One_sided | Two_sided -> `Two_sided in
-  let cur_dist = Network.routing_distance net ~side:rd ~src:cur ~dst in
-  let ns = Network.neighbors net cur in
-  let excluded =
-    match Hashtbl.find_opt tried cur with Some l -> l | None -> []
-  in
-  let limit = match mode with `Strict -> cur_dist | `Any -> max_int in
-  let best = ref (-1) and best_idx = ref (-1) and best_dist = ref limit in
-  Array.iteri
-    (fun idx v ->
-      if
-        Failure.link_alive failures ~src:cur ~idx
-        && Failure.node_alive failures v
-        && not (List.mem idx excluded)
-      then begin
-        let v_dist = Network.routing_distance net ~side:rd ~src:v ~dst in
-        let admissible =
-          v_dist < !best_dist
-          && match side with
-             | Two_sided -> true
-             | One_sided -> Network.one_sided_admissible net ~cur ~v ~dst
-        in
-        if admissible then begin
-          best := v;
-          best_idx := idx;
-          best_dist := v_dist
-        end
-      end)
-    ns;
-  if !best < 0 then None else Some (!best_idx, !best)
+(* Reusable per-route working state, sized to a network's CSR edge count.
+   [stamps] has one slot per CSR edge; slot [offsets.(u) + k] equal to
+   [epoch] means "link k of node u was tried during the current route" —
+   the O(1) replacement for the old per-node exclusion lists (a Hashtbl of
+   int lists scanned with List.mem, quadratic in backtrack depth).
+   [bt_hist] is the bounded backtrack window as a ring buffer. Routing with
+   a caller-held scratch performs zero minor allocations per hop in steady
+   state; without one, a fresh scratch is allocated per call (still
+   allocation-free per hop). *)
+type scratch = {
+  mutable stamps : int array;
+  mutable epoch : int;
+  mutable bt_hist : int array;
+}
 
-let no_tried : (int, int list) Hashtbl.t = Hashtbl.create 1
+let scratch net =
+  let c = Network.csr net in
+  {
+    stamps = Array.make (max 1 (Ftr_graph.Adjacency.Csr.edge_count c)) 0;
+    epoch = 0;
+    bt_hist = [||];
+  }
+
+(* Stand-in for strategies that never record tried links ({!Terminate},
+   {!Random_reroute}) when the caller supplied no scratch: never read or
+   written, so sharing one global is safe. *)
+let dummy_scratch = { stamps = [||]; epoch = 0; bt_hist = [||] }
+
+(* Fallback scratch for backtracking callers that pass none, cached per
+   domain so repeated routing stays allocation-free without an API change.
+   The cell is emptied while a route borrows it, so a nested [route] call
+   from an [on_hop] callback allocates its own scratch instead of
+   corrupting the outer route's stamps. *)
+let dls_scratch : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 (* Sanitizer hook: a hop chosen in [`Strict] mode must obey the greedy
    contract — strictly decrease the routing distance, and on one-sided
@@ -81,7 +76,7 @@ let debug_check_strict_hop net ~side ~cur ~v ~dst =
   end
 
 let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
-    ?(max_hops = 1_000_000) ?rng ?(on_hop = fun _ -> ()) net ~src ~dst =
+    ?(max_hops = 1_000_000) ?rng ?scratch:scr ?(on_hop = fun _ -> ()) net ~src ~dst =
   let n = Network.size net in
   if src < 0 || src >= n || dst < 0 || dst >= n then invalid_arg "Route.route: node out of range";
   if not (Failure.node_alive failures dst) then invalid_arg "Route.route: destination is dead";
@@ -108,14 +103,181 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     end
     else on_hop
   in
-  let tried =
-    match strategy with Backtrack _ -> Hashtbl.create 64 | Terminate | Random_reroute _ -> no_tried
+  let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  (* Only {!Backtrack} records tried links; the other strategies skip both
+     the stamp array (epoch 0 is the "no tracking" sentinel below) and its
+     allocation when the caller supplied no scratch. *)
+  let tracking = match strategy with Backtrack _ -> true | Terminate | Random_reroute _ -> false in
+  let restore = ref (fun () -> ()) in
+  let s =
+    match scr with
+    | Some s -> s
+    | None when not tracking -> dummy_scratch
+    | None ->
+        let cell = Domain.DLS.get dls_scratch in
+        let s =
+          match !cell with
+          | Some s ->
+              cell := None;
+              s
+          | None -> scratch net
+        in
+        restore := (fun () -> cell := Some s);
+        s
+  in
+  let stamps, epoch =
+    if tracking then begin
+      if Array.length s.stamps < offsets.(n) then begin
+        (* Scratch carried over from a smaller network: regrow. A fresh
+           array is all-zero, which no live epoch ever equals. *)
+        s.stamps <- Array.make offsets.(n) 0;
+        s.epoch <- 0
+      end;
+      s.epoch <- s.epoch + 1;
+      (s.stamps, s.epoch)
+    end
+    else ([||], 0)
+  in
+  (* Failure fast paths, resolved once per route: node liveness through the
+     concrete bitset when the view has one, link liveness skipped entirely
+     when everything is statically alive. The general closure forms remain
+     the fallback. *)
+  let node_bits = Failure.node_alive_bits failures in
+  let node_all = Failure.node_all_alive failures in
+  let link_all = Failure.link_all_alive failures in
+  (* Geometry resolved once per route so the candidate scan can compute
+     two-sided distances inline — one array load and some integer
+     arithmetic per candidate instead of a call into [Network]. One-sided
+     routing keeps the generic path (it also needs the overshoot test). *)
+  let positions = Network.positions net in
+  let lsize = Network.line_size net in
+  let circle = match Network.geometry net with Network.Circle -> true | Network.Line -> false in
+  let two_sided = match side with Two_sided -> true | One_sided -> false in
+  let rd = match side with One_sided -> `One_sided | Two_sided -> `Two_sided in
+  (* Winning candidate of the last successful [best_neighbor] scan; mutable
+     result slots instead of an allocated [Some (idx, v)] pair per hop. *)
+  let found_idx = ref (-1) and found_node = ref (-1) in
+  (* Best live untried neighbour of [cur], subject to the one-sided
+     no-overshoot rule when requested. In [`Strict] mode only neighbours
+     strictly closer to [dst] qualify (the greedy rule); in [`Any] mode
+     every untried live neighbour qualifies, still ranked by distance to
+     [dst] — used when resuming from a backtracked node, where the "next
+     best neighbour" may have to route around a hole. Ties go to the first
+     candidate in sorted-position order, matching "ties broken arbitrarily"
+     (Section 4.2.1) deterministically. Writes the winning
+     (index-into-row, node) pair into [found_idx]/[found_node] and returns
+     whether one exists. *)
+  (* Unsafe array reads below are justified by construction-time CSR
+     validation ([Adjacency.Csr.validate], re-checked by the Check
+     battery): every target is a node index in [0, n), every slot is below
+     [offsets.(n)], and [stamps] is kept at least that long. *)
+  let dist_to ~dst_pos v =
+    let d = Array.unsafe_get positions v - dst_pos in
+    let d = if d < 0 then -d else d in
+    if circle then min d (lsize - d) else d
+  in
+  let best_neighbor ~mode ~cur ~dst =
+    let dst_pos = Array.unsafe_get positions dst in
+    let cur_dist =
+      if two_sided then dist_to ~dst_pos cur
+      else Network.routing_distance net ~side:rd ~src:cur ~dst
+    in
+    let base = offsets.(cur) in
+    let deg = offsets.(cur + 1) - base in
+    let limit = match mode with `Strict -> cur_dist | `Any -> max_int in
+    let best = ref (-1) and best_idx = ref (-1) and best_dist = ref limit in
+    if two_sided && not circle then begin
+      (* Line fast path, exploiting the per-row sorted invariant: the live
+         neighbour closest to [dst] is found by bisecting the row to the
+         two entries bracketing [dst_pos] and walking the brackets outward
+         in increasing-distance order, stopping at the first live
+         candidate. Equivalent to the full scan below: that scan keeps the
+         minimum-distance live candidate, ties to the earliest row entry —
+         i.e. the smaller position, which is exactly the left bracket this
+         merge prefers on ties ([dl <= dr]). (When duplicate row entries
+         name one node, the two orders can record a different *slot* in
+         [stamps], but the slots alias the same node with the same
+         remaining multiplicity, so the visited-node sequence — and the
+         outcome — is unchanged.) *)
+      let lo = ref 0 and hi = ref deg in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Array.unsafe_get positions (Array.unsafe_get targets (base + mid)) >= dst_pos then
+          hi := mid
+        else lo := mid + 1
+      done;
+      let l = ref (!lo - 1) and r = ref !lo in
+      let scanning = ref true in
+      while !scanning do
+        let dl =
+          if !l >= 0 then
+            dst_pos - Array.unsafe_get positions (Array.unsafe_get targets (base + !l))
+          else max_int
+        and dr =
+          if !r < deg then
+            Array.unsafe_get positions (Array.unsafe_get targets (base + !r)) - dst_pos
+          else max_int
+        in
+        let take_left = dl <= dr in
+        let d = if take_left then dl else dr in
+        if d >= limit then scanning := false (* exhausted or no closer candidate left *)
+        else begin
+          let k = if take_left then !l else !r in
+          let v = Array.unsafe_get targets (base + k) in
+          let live =
+            (link_all || Failure.link_alive failures ~src:cur ~idx:k)
+            && (match node_bits with
+               | Some b -> Bitset.unsafe_get b v
+               | None -> node_all || Failure.node_alive failures v)
+            && (epoch = 0 || Array.unsafe_get stamps (base + k) <> epoch)
+          in
+          if live then begin
+            best := v;
+            best_idx := k;
+            best_dist := d;
+            scanning := false
+          end
+          else if take_left then decr l
+          else incr r
+        end
+      done
+    end
+    else
+      for k = 0 to deg - 1 do
+        let v = Array.unsafe_get targets (base + k) in
+        let live =
+          (link_all || Failure.link_alive failures ~src:cur ~idx:k)
+          && (match node_bits with
+             | Some b -> Bitset.unsafe_get b v
+             | None -> node_all || Failure.node_alive failures v)
+          && (epoch = 0 || Array.unsafe_get stamps (base + k) <> epoch)
+        in
+        if live then begin
+          let v_dist =
+            if two_sided then dist_to ~dst_pos v
+            else Network.routing_distance net ~side:rd ~src:v ~dst
+          in
+          let admissible =
+            v_dist < !best_dist
+            && (two_sided || Network.one_sided_admissible net ~cur ~v ~dst)
+          in
+          if admissible then begin
+            best := v;
+            best_idx := k;
+            best_dist := v_dist
+          end
+        end
+      done;
+    if !best < 0 then false
+    else begin
+      found_idx := !best_idx;
+      found_node := !best;
+      true
+    end
   in
   let record_tried cur idx =
     match strategy with
-    | Backtrack _ ->
-        let prev = match Hashtbl.find_opt tried cur with Some l -> l | None -> [] in
-        Hashtbl.replace tried cur (idx :: prev)
+    | Backtrack _ -> stamps.(offsets.(cur) + idx) <- epoch
     | Terminate | Random_reroute _ -> ()
   in
   (* Greedy leg toward [target]; stops at the target, at a stuck node, or at
@@ -123,14 +285,15 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   let greedy_leg ~start ~target ~hops =
     let cur = ref start and h = ref hops and stop = ref false in
     while (not !stop) && !cur <> target && !h < max_hops do
-      match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur:!cur ~dst:target with
-      | Some (idx, v) ->
-          debug_check_strict_hop net ~side ~cur:!cur ~v ~dst:target;
-          record_tried !cur idx;
-          cur := v;
-          incr h;
-          on_hop v
-      | None -> stop := true
+      if best_neighbor ~mode:`Strict ~cur:!cur ~dst:target then begin
+        let v = !found_node in
+        debug_check_strict_hop net ~side ~cur:!cur ~v ~dst:target;
+        record_tried !cur !found_idx;
+        cur := v;
+        incr h;
+        on_hop v
+      end
+      else stop := true
     done;
     (!cur, !h, (!cur <> target && not !stop))
   in
@@ -147,6 +310,9 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         attempt 0
   in
   let outcome =
+  (* [finally] returns the borrowed domain-local scratch even on the
+     sanitizer's exception paths. *)
+  Fun.protect ~finally:(fun () -> !restore ()) @@ fun () ->
   match strategy with
   | Terminate ->
       let terminus, h, out_of_budget = greedy_leg ~start:src ~target:dst ~hops:0 in
@@ -173,53 +339,68 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
       go src 0 attempts
   | Backtrack { history = history_limit } ->
       if history_limit < 1 then invalid_arg "Route.route: history must be >= 1";
-      (* [history] holds the most recently visited nodes, newest first,
-         trimmed to the configured window. Every forward move pushes the
-         departing node — including moves made after a backtrack, so a
-         node's remaining untried links stay reachable while it is within
-         the window (depth-first search with a bounded backtrack stack). *)
-      let trim history =
-        let rec take k = function
-          | [] -> []
-          | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
-        in
-        take history_limit history
+      (* The most recently visited nodes, newest first, in a preallocated
+         ring buffer bounded by the configured window. Every forward move
+         pushes the departing node — including moves made after a
+         backtrack, so a node's remaining untried links stay reachable
+         while it is within the window (depth-first search with a bounded
+         backtrack stack). [hist_start] indexes the newest entry; pushing
+         at capacity lets the oldest entry fall out of the window, exactly
+         the semantics of consing onto a list trimmed to [history_limit]. *)
+      if Array.length s.bt_hist < history_limit then s.bt_hist <- Array.make history_limit 0;
+      let hist = s.bt_hist in
+      let cap = Array.length hist in
+      let hist_start = ref 0 and hist_len = ref 0 in
+      let push x =
+        hist_start := (!hist_start - 1 + cap) mod cap;
+        hist.(!hist_start) <- x;
+        if !hist_len < history_limit then incr hist_len
       in
-      let rec forward cur h history =
+      let pop () =
+        let y = hist.(!hist_start) in
+        hist_start := (!hist_start + 1) mod cap;
+        decr hist_len;
+        y
+      in
+      let rec forward cur h =
         if cur = dst then Delivered { hops = h }
         else if h >= max_hops then Failed { hops = h; stuck_at = cur; reason = Hop_limit }
-        else
-          match best_neighbor net failures ~side ~mode:`Strict ~tried ~cur ~dst with
-          | Some (idx, v) ->
-              debug_check_strict_hop net ~side ~cur ~v ~dst;
-              record_tried cur idx;
-              on_hop v;
-              forward v (h + 1) (trim (cur :: history))
-          | None -> backtrack cur h history
-      and backtrack stuck h history =
-        match history with
-        | [] -> Failed { hops = h; stuck_at = stuck; reason = No_live_neighbor }
-        | y :: rest ->
-            (* Travelling back to the previous node costs a hop. *)
-            if obs then Ftr_obs.Metrics.incr "route_backtracks_total";
-            let h = h + 1 in
-            on_hop y;
-            if h >= max_hops then Failed { hops = h; stuck_at = y; reason = Hop_limit }
-            else begin
-              (* "Chooses the next best neighbour": once the strictly
-                 closer options of [y] are exhausted, the search is allowed
-                 to route around the hole through a farther neighbour —
-                 without this, delivery would require a monotone live path,
-                 and the failure fractions of Figure 6 are unreachable. *)
-              match best_neighbor net failures ~side ~mode:`Any ~tried ~cur:y ~dst with
-              | Some (idx, v) ->
-                  record_tried y idx;
-                  on_hop v;
-                  forward v (h + 1) (trim (y :: rest))
-              | None -> backtrack y h rest
-            end
+        else if best_neighbor ~mode:`Strict ~cur ~dst then begin
+          let v = !found_node in
+          debug_check_strict_hop net ~side ~cur ~v ~dst;
+          record_tried cur !found_idx;
+          on_hop v;
+          push cur;
+          forward v (h + 1)
+        end
+        else backtrack cur h
+      and backtrack stuck h =
+        if !hist_len = 0 then Failed { hops = h; stuck_at = stuck; reason = No_live_neighbor }
+        else begin
+          let y = pop () in
+          (* Travelling back to the previous node costs a hop. *)
+          if obs then Ftr_obs.Metrics.incr "route_backtracks_total";
+          let h = h + 1 in
+          on_hop y;
+          if h >= max_hops then Failed { hops = h; stuck_at = y; reason = Hop_limit }
+          else if
+            (* "Chooses the next best neighbour": once the strictly closer
+               options of [y] are exhausted, the search is allowed to route
+               around the hole through a farther neighbour — without this,
+               delivery would require a monotone live path, and the failure
+               fractions of Figure 6 are unreachable. *)
+            best_neighbor ~mode:`Any ~cur:y ~dst
+          then begin
+            let v = !found_node in
+            record_tried y !found_idx;
+            on_hop v;
+            push y;
+            forward v (h + 1)
+          end
+          else backtrack y h
+        end
       in
-      forward src 0 []
+      forward src 0
   in
   if obs then begin
     (match outcome with
@@ -271,10 +452,11 @@ let loop_erased_length path =
     path;
   max 0 (!top - 1)
 
-let route_path ?failures ?side ?strategy ?max_hops ?rng net ~src ~dst =
+let route_path ?failures ?side ?strategy ?max_hops ?rng ?scratch net ~src ~dst =
   let path = ref [ src ] in
   let outcome =
-    route ?failures ?side ?strategy ?max_hops ?rng ~on_hop:(fun v -> path := v :: !path) net ~src
-      ~dst
+    route ?failures ?side ?strategy ?max_hops ?rng ?scratch
+      ~on_hop:(fun v -> path := v :: !path)
+      net ~src ~dst
   in
   (outcome, List.rev !path)

@@ -49,12 +49,24 @@ val reason_label : reason -> string
 val hops : outcome -> int
 (** Hops consumed, delivered or not (backtracking steps count). *)
 
+type scratch
+(** Reusable working state for {!route}: the epoch-stamped per-link
+    "tried" array and the preallocated backtrack window, sized to a
+    network's CSR edge count. With a caller-held scratch, routing performs
+    zero minor-heap allocations per hop in steady state; a scratch passed
+    for a larger network than it was built for is regrown transparently.
+    Not thread-safe: one scratch per domain. *)
+
+val scratch : Network.t -> scratch
+(** Fresh scratch sized for [net]. *)
+
 val route :
   ?failures:Failure.t ->
   ?side:side ->
   ?strategy:strategy ->
   ?max_hops:int ->
   ?rng:Ftr_prng.Rng.t ->
+  ?scratch:scratch ->
   ?on_hop:(int -> unit) ->
   Network.t ->
   src:int ->
@@ -63,6 +75,8 @@ val route :
 (** Route a message between node indices. Defaults: no failures, two-sided,
     terminate-on-stuck, one million hop budget. [rng] is required only by
     {!Random_reroute}; [on_hop] observes every node the message visits.
+    [scratch] lets callers routing many messages reuse the working arrays
+    (outcomes are identical with or without it).
     @raise Invalid_argument if an endpoint is out of range or dead. *)
 
 val loop_erased_length : int list -> int
@@ -77,6 +91,7 @@ val route_path :
   ?strategy:strategy ->
   ?max_hops:int ->
   ?rng:Ftr_prng.Rng.t ->
+  ?scratch:scratch ->
   Network.t ->
   src:int ->
   dst:int ->

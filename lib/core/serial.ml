@@ -32,15 +32,12 @@ let emit ~(out : string -> unit) net =
   let line = Buffer.create 128 in
   for i = 0 to n - 1 do
     Buffer.clear line;
-    let ns = Network.neighbors net i in
     Buffer.add_string line (string_of_int (Network.position net i));
     Buffer.add_char line ' ';
-    Buffer.add_string line (string_of_int (Array.length ns));
-    Array.iter
-      (fun v ->
+    Buffer.add_string line (string_of_int (Network.degree net i));
+    Network.iter_neighbors net i (fun v ->
         Buffer.add_char line ' ';
-        Buffer.add_string line (string_of_int v))
-      ns;
+        Buffer.add_string line (string_of_int v));
     Buffer.add_char line '\n';
     out (Buffer.contents line)
   done

@@ -1,4 +1,70 @@
+(* Compressed sparse row: the whole edge set in two flat arrays. Row [u] is
+   [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]. The flat layout
+   is the memory representation the routing hot loop scans — one contiguous
+   block instead of [n] separately boxed rows. *)
+module Csr = struct
+  type t = { offsets : int array; targets : int array }
+
+  let size t = Array.length t.offsets - 1
+
+  let degree t u = t.offsets.(u + 1) - t.offsets.(u)
+
+  let edge_count t = t.offsets.(size t)
+
+  let nth t u k = t.targets.(t.offsets.(u) + k)
+
+  let row t u = Array.sub t.targets t.offsets.(u) (degree t u)
+
+  let iter_row t u f =
+    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
+      f t.targets.(k)
+    done
+
+  (* The structural invariants every producer must establish; the Check
+     battery re-verifies them with stable violation codes. *)
+  let validate ?(sorted = false) t =
+    let n = size t in
+    if n < 0 then invalid_arg "Csr: offsets must have at least one entry";
+    if t.offsets.(0) <> 0 then invalid_arg "Csr: offsets must start at 0";
+    for u = 0 to n - 1 do
+      if t.offsets.(u + 1) < t.offsets.(u) then
+        invalid_arg (Printf.sprintf "Csr: offsets decrease at row %d" u)
+    done;
+    if t.offsets.(n) <> Array.length t.targets then
+      invalid_arg "Csr: final offset must equal the target count";
+    Array.iteri
+      (fun k v ->
+        if v < 0 || v >= n then
+          invalid_arg (Printf.sprintf "Csr: target %d at slot %d out of range" v k))
+      t.targets;
+    if sorted then
+      for u = 0 to n - 1 do
+        for k = t.offsets.(u) + 1 to t.offsets.(u + 1) - 1 do
+          if t.targets.(k - 1) > t.targets.(k) then
+            invalid_arg (Printf.sprintf "Csr: row %d unsorted at entry %d" u (k - t.offsets.(u)))
+        done
+      done
+
+  let of_rows rows =
+    let n = Array.length rows in
+    let offsets = Array.make (n + 1) 0 in
+    for u = 0 to n - 1 do
+      offsets.(u + 1) <- offsets.(u) + Array.length rows.(u)
+    done;
+    let targets = Array.make offsets.(n) 0 in
+    Array.iteri (fun u ns -> Array.blit ns 0 targets offsets.(u) (Array.length ns)) rows;
+    let t = { offsets; targets } in
+    validate t;
+    t
+
+  let to_rows t = Array.init (size t) (fun u -> row t u)
+end
+
 type t = { out_neighbors : int array array }
+
+let to_csr t = Csr.of_rows t.out_neighbors
+
+let of_csr c = { out_neighbors = Csr.to_rows c }
 
 let of_arrays out_neighbors =
   Array.iteri

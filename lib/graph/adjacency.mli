@@ -2,6 +2,46 @@
     paper's overlay, where each node stores only the addresses of its
     neighbours. *)
 
+(** Compressed sparse row (struct-of-arrays) form: all rows concatenated
+    into one flat [targets] array indexed through [offsets]. Row [u] is
+    [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]. Invariants
+    (established by {!Csr.of_rows}, re-checkable with {!Csr.validate}):
+    [offsets] is monotone non-decreasing, starts at 0, ends at
+    [Array.length targets]; every target is a valid node index. The record
+    is exposed so hot loops can scan the arrays directly — treat both
+    arrays as read-only. *)
+module Csr : sig
+  type t = { offsets : int array; targets : int array }
+
+  val of_rows : int array array -> t
+  (** Flatten per-node rows; validates targets are in range. *)
+
+  val to_rows : t -> int array array
+  (** Rebuild the jagged per-node view (fresh arrays). *)
+
+  val size : t -> int
+  (** Number of nodes (rows). *)
+
+  val degree : t -> int -> int
+  (** Out-degree of a node. *)
+
+  val edge_count : t -> int
+  (** Total number of directed edges. *)
+
+  val nth : t -> int -> int -> int
+  (** [nth t u k] is the [k]-th out-neighbour of [u]. *)
+
+  val row : t -> int -> int array
+  (** Fresh copy of one row. *)
+
+  val iter_row : t -> int -> (int -> unit) -> unit
+  (** Apply to every out-neighbour of a node, in row order. *)
+
+  val validate : ?sorted:bool -> t -> unit
+  (** Re-check the structural invariants ([sorted] additionally demands
+      every row be non-decreasing). @raise Invalid_argument on violation. *)
+end
+
 type t
 
 val of_arrays : int array array -> t
@@ -34,3 +74,9 @@ val reverse : t -> t
 
 val degree_summary : t -> int * int * float
 (** (min, max, mean) out-degree. *)
+
+val to_csr : t -> Csr.t
+(** Flatten to the CSR form (fresh arrays). *)
+
+val of_csr : Csr.t -> t
+(** Rebuild the jagged form from CSR (fresh arrays). *)

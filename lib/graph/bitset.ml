@@ -14,6 +14,9 @@ let get t i =
   check t i;
   Char.code (Bytes.unsafe_get t.words (i / bits_per_word)) land (1 lsl (i mod bits_per_word)) <> 0
 
+let unsafe_get t i =
+  Char.code (Bytes.unsafe_get t.words (i / bits_per_word)) land (1 lsl (i mod bits_per_word)) <> 0
+
 let set t i =
   check t i;
   let w = i / bits_per_word in

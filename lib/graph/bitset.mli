@@ -15,6 +15,11 @@ val size : t -> int
 val get : t -> int -> bool
 (** Read one bit. @raise Invalid_argument when out of range. *)
 
+val unsafe_get : t -> int -> bool
+(** Read one bit without the range check — for hot loops whose indices are
+    validated once up front (the routing inner loop). Out-of-range indices
+    are undefined behaviour. *)
+
 val set : t -> int -> unit
 (** Set one bit. *)
 

@@ -238,44 +238,48 @@ let rec lookup_step t ~at ~target ~request ~hops =
         (* Strictly closer neighbours advance the lookup; an equidistant
            neighbour at a smaller position also does, so a point midway
            between two nodes resolves to the same owner from either
-           direction (the tie walk moves leftward once and stops). *)
+           direction (the tie walk moves leftward once and stops). Only
+           the single best candidate — minimal (distance, position) — is
+           ever tried before the link set changes (a dead pick repairs
+           the link and re-enters this step), so one min-scan replaces
+           the sorted candidate list the previous version built. *)
         let my_dist = abs (node.pos - target) in
-        let candidates =
-          List.filter
-            (fun v ->
-              let d = abs (v - target) in
-              d < my_dist || (d = my_dist && v < node.pos))
-            (neighbors_of node)
-          |> List.sort_uniq (fun a b ->
-                 compare (abs (a - target), a) (abs (b - target), b))
-        in
-        try_candidates t node ~candidates ~target ~request ~hops
+        let best = ref (-1) and best_d = ref max_int in
+        List.iter
+          (fun v ->
+            let d = abs (v - target) in
+            if
+              (d < my_dist || (d = my_dist && v < node.pos))
+              && (d < !best_d || (d = !best_d && v < !best))
+            then begin
+              best := v;
+              best_d := d
+            end)
+          (neighbors_of node);
+        if !best < 0 then
+          (* No live neighbour closer: this node owns the target's basin. *)
+          resolve_request t ~owner:node.pos ~request ~hops
+        else try_candidate t node ~v:!best ~target ~request ~hops
       end
 
-and try_candidates t node ~candidates ~target ~request ~hops =
-  match candidates with
-  | [] ->
-      (* No live neighbour closer: this node owns the target's basin. *)
-      resolve_request t ~owner:node.pos ~request ~hops
-  | v :: rest -> (
-      match live_node t v with
-      | Some _ ->
-          t.stats.messages <- t.stats.messages + 1;
-          ignore
-            (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
-                 (* The neighbour may have crashed in flight; arrival
-                    re-checks and bounces back on failure. *)
-                 match live_node t v with
-                 | Some _ -> lookup_step t ~at:v ~target ~request ~hops:(hops + 1)
-                 | None ->
-                     ignore
-                       (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
-                            on_dead_neighbor t node ~dead:v ~target ~request ~hops))))
-      | None ->
-          (* Probe discovers the neighbour is already dead. *)
-          t.stats.probes <- t.stats.probes + 1;
-          on_dead_neighbor t node ~dead:v ~target ~request ~hops;
-          ignore rest)
+and try_candidate t node ~v ~target ~request ~hops =
+  match live_node t v with
+  | Some _ ->
+      t.stats.messages <- t.stats.messages + 1;
+      ignore
+        (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
+             (* The neighbour may have crashed in flight; arrival
+                re-checks and bounces back on failure. *)
+             match live_node t v with
+             | Some _ -> lookup_step t ~at:v ~target ~request ~hops:(hops + 1)
+             | None ->
+                 ignore
+                   (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
+                        on_dead_neighbor t node ~dead:v ~target ~request ~hops))))
+  | None ->
+      (* Probe discovers the neighbour is already dead. *)
+      t.stats.probes <- t.stats.probes + 1;
+      on_dead_neighbor t node ~dead:v ~target ~request ~hops
 
 and on_dead_neighbor t node ~dead ~target ~request ~hops =
   if not node.alive then fail_request t request
