@@ -1,0 +1,34 @@
+(* ftr_lint: the project static analyzer (docs/LINTING.md). Wired into
+   `dune build @lint` alongside the runtime sanitizer battery; rules R1-R5
+   live in lib/lint.
+
+     ftr_lint [DIR|FILE ...] [--baseline FILE] [--write-baseline FILE]
+              [--json FILE] [--quiet]
+
+   Exit status: 0 clean (modulo baseline), 1 findings, 2 usage or parse
+   error. *)
+
+let () =
+  let dirs = ref [] in
+  let baseline = ref None in
+  let write_baseline = ref None in
+  let json = ref None in
+  let quiet = ref false in
+  let usage = "usage: ftr_lint [DIR|FILE ...] [options]" in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun p -> baseline := Some p),
+        "FILE tolerate the findings recorded in FILE (see docs/LINTING.md)" );
+      ( "--write-baseline",
+        Arg.String (fun p -> write_baseline := Some p),
+        "FILE record every current finding into FILE and exit 0" );
+      ("--json", Arg.String (fun p -> json := Some p), "FILE also write a JSON report to FILE");
+      ("--quiet", Arg.Set quiet, " print only the summary line, not each finding");
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | l -> l in
+  exit
+    (Ftr_lint.Driver.run ?baseline:!baseline ?write_baseline:!write_baseline ?json:!json
+       ~quiet:!quiet ~dirs ())

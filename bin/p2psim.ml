@@ -485,7 +485,9 @@ let report_cmd =
     if selfcheck then begin
       let problems = ref [] in
       let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
-      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl) in
+      let lines =
+        List.filter (fun l -> not (String.equal l "")) (String.split_on_char '\n' jsonl)
+      in
       if lines = [] then fail "no events were emitted";
       List.iter
         (fun line ->
@@ -499,8 +501,8 @@ let report_cmd =
         List.fold_left
           (fun acc it ->
             match it.Ftr_obs.Metrics.item_view with
-            | Ftr_obs.Metrics.Histogram_view hv when it.Ftr_obs.Metrics.item_name = "route_hops"
-              ->
+            | Ftr_obs.Metrics.Histogram_view hv
+              when String.equal it.Ftr_obs.Metrics.item_name "route_hops" ->
                 acc + hv.Ftr_obs.Metrics.h_count
             | _ -> acc)
           0
@@ -642,7 +644,7 @@ let check_cmd =
       ideal;
     (* Heap on its own, then the engine mid-run and the overlay at
        quiescence (populate + joins + lookups, run to empty). *)
-    let h = Ftr_sim.Heap.create ~compare:(fun (a : int) b -> compare a b) in
+    let h = Ftr_sim.Heap.create ~compare:Int.compare in
     for _ = 1 to 512 do
       Ftr_sim.Heap.push h (Rng.int rng 10_000)
     done;
@@ -689,7 +691,19 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Run the invariant sanitizer battery over builders, routes, simulator and DHT")
+       ~doc:"Run the invariant sanitizer battery over builders, routes, simulator and DHT"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs every runtime invariant check (docs/CHECKING.md) against freshly built \
+              networks, routes, the simulator and the DHT store. Exits 1 on any violation.";
+           `P
+             "Static properties are covered separately by the $(b,ftr_lint) analyzer \
+              (docs/LINTING.md): $(b,dune build @lint) runs this battery and then lints \
+              lib/, bin/ and bench/ for nondeterminism sources, polymorphic comparison, \
+              hash-order output, ungated telemetry and hot-path allocation.";
+         ])
     Term.(const run $ n_t 1024 $ links_t $ seed_t $ verbose_t)
 
 (* sweep *)
@@ -850,7 +864,7 @@ let sweep_cmd =
       (match csv_path with
       | Some path ->
           let dir = Filename.dirname path in
-          if dir <> "" && dir <> "." then Ftr_stats.Csv.mkdir_p dir;
+          if not (String.equal dir "" || String.equal dir ".") then Ftr_stats.Csv.mkdir_p dir;
           Ftr_stats.Csv.write_file ~path
             ~header:[ "nodes"; "links"; "fail"; "failed"; "hops"; "path_hops" ]
             ~rows:

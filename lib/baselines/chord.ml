@@ -35,7 +35,7 @@ let bits_of m =
 let create ~ring_size ~node_ids =
   if ring_size < 2 then invalid_arg "Chord.create: ring_size must be >= 2";
   let nodes = Array.copy node_ids in
-  Array.sort compare nodes;
+  Array.sort Int.compare nodes;
   let n = Array.length nodes in
   if n < 1 then invalid_arg "Chord.create: need at least one node";
   Array.iteri

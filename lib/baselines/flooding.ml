@@ -20,7 +20,7 @@ let random_overlay ~n ~degree rng =
     done
   done;
   Adjacency.of_arrays
-    (Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) buckets)
+    (Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) buckets)
 
 type result = { found : bool; messages : int; rounds : int }
 

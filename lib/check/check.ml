@@ -475,7 +475,11 @@ let engine e =
       (* Events order by (time, seq); seq breaks ties FIFO. *)
       if i > 0 then begin
         let pt, ps = slots.((i - 1) / 2) in
-        if compare (pt, ps) (time, seq) > 0 then
+        let parent_after =
+          let c = Float.compare pt time in
+          if c <> 0 then c > 0 else ps > seq
+        in
+        if parent_after then
           emit
             (violation "heap.order"
                (Printf.sprintf "engine heap slot %d" i)

@@ -25,7 +25,7 @@ let structural_positions ~n ~base ~target =
     add (target - !power);
     power := !power * base
   done;
-  List.sort_uniq compare !acc
+  List.sort_uniq Int.compare !acc
 
 let structural_mask ~n ~base ~target =
   let mask = Bitset.create n in
@@ -43,7 +43,7 @@ let blockade_positions ~n ~target ~radius =
     if target - d >= 0 then acc := (target - d) :: !acc;
     if target + d < n then acc := (target + d) :: !acc
   done;
-  List.sort_uniq compare !acc
+  List.sort_uniq Int.compare !acc
 
 let blockade_mask ~n ~target ~radius =
   let mask = Bitset.create n in
@@ -113,7 +113,11 @@ let highest_in_degree_mask net ~kills =
   if kills < 0 || kills >= n then invalid_arg "Adversary.highest_in_degree_mask: bad kill count";
   let degrees = Network_stats.in_degrees net in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (degrees.(b), a) (degrees.(a), b)) order;
+  Array.sort
+    (fun a b ->
+      let c = Int.compare degrees.(b) degrees.(a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
   let mask = Bitset.create n in
   Bitset.fill mask true;
   for k = 0 to kills - 1 do

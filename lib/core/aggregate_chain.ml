@@ -226,7 +226,7 @@ let sample_full dist rng =
     if Rng.bernoulli rng (dist.p d) then neg := -d :: !neg
   done;
   let arr = Array.of_list (List.rev_append !neg !acc) in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 (* Two-sided greedy single-point chain (Section 4.2.1): from x bound for 0,

@@ -87,7 +87,7 @@ type figure5_result = {
    head of the curve where the paper's largest error sits. *)
 let report_lengths ~n =
   let rec powers acc v = if v >= n then List.rev acc else powers (v :: acc) (v * 2) in
-  List.sort_uniq compare (3 :: 6 :: powers [] 1)
+  List.sort_uniq Int.compare (3 :: 6 :: powers [] 1)
 
 (* Shared tail of the sequential and parallel drivers: average the
    accumulated pmf mass and compare with the ideal 1/d law. *)

@@ -137,7 +137,7 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
     Array.init n (fun v ->
         let immediate = (if v > 0 then [ v - 1 ] else []) @ if v < n - 1 then [ v + 1 ] else [] in
         let arr = Array.of_list (List.rev_append immediate (Array.to_list long.(v))) in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         arr)
   in
   Network.of_neighbor_indices ~line_size:n ~positions:(Array.init n (fun i -> i)) ~neighbors
@@ -237,7 +237,7 @@ let repair ?(exponent = 1.0) ~alive net rng =
               if alive v then long := index_of.(v) :: !long
               else long := sample_live_index ~src_pos:pos ~self:new_i :: !long);
         let arr = Array.of_list (List.rev_append immediate !long) in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         arr)
       live
   in

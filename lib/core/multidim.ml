@@ -65,7 +65,7 @@ let build ?alpha ?(links = 1) ~dims ~side rng =
           long := add_offset torus u off :: !long
         done;
         let arr = Array.of_list (List.rev_append lattice !long) in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         arr)
   in
   { torus; adj = Csr.of_rows rows; links; alpha }

@@ -197,7 +197,7 @@ let sample_long_target pl rng ~n ~src =
 
 let finish_node ~immediate ~long =
   let arr = Array.of_list (List.rev_append immediate long) in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 let build_ideal ?(exponent = 1.0) ~n ~links rng =
@@ -312,7 +312,7 @@ let build_deterministic ~n ~base =
         add (u - 1);
         add (u + 1);
         let arr = Array.of_list !acc in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         (* Deduplicate the sorted neighbour list. *)
         let uniq = ref [] in
         Array.iter
@@ -338,7 +338,7 @@ let build_geometric ~n ~base =
           power := !power * base
         done;
         let arr = Array.of_list !acc in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         let uniq = ref [] in
         Array.iter
           (fun v -> match !uniq with w :: _ when w = v -> () | _ -> uniq := v :: !uniq)
@@ -363,10 +363,11 @@ let long_link_lengths t =
       | Circle -> (Some ((i - 1 + n) mod n), Some ((i + 1) mod n))
     in
     let seen_left = ref false and seen_right = ref false in
+    let matches o j = match o with Some r -> r = j | None -> false in
     Csr.iter_row t.adj i (fun j ->
         let is_ring =
-          (Some j = ring_left && not !seen_left && (seen_left := true; true))
-          || (Some j = ring_right && not !seen_right && (seen_right := true; true))
+          (matches ring_left j && not !seen_left && (seen_left := true; true))
+          || (matches ring_right j && not !seen_right && (seen_right := true; true))
         in
         if not is_ring then result := distance t i j :: !result)
   done;
@@ -406,7 +407,7 @@ let build_ring ?(exponent = 1.0) ~n ~links rng =
           long := v :: !long
         done;
         let arr = Array.of_list (List.rev_append immediate !long) in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         arr)
   in
   make ~geometry:Circle ~line_size:n ~positions:(Array.init n (fun i -> i)) ~rows:neighbors ~links
@@ -435,7 +436,7 @@ let build_chordlike ?(base = 2) ?(predecessor = false) ~n () =
           power := !power * base
         done;
         let arr = Array.of_list !acc in
-        Array.sort compare arr;
+        Array.sort Int.compare arr;
         let uniq = ref [] in
         Array.iter
           (fun v -> match !uniq with w :: _ when w = v -> () | _ -> uniq := v :: !uniq)

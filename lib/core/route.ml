@@ -1,3 +1,5 @@
+(* ftr-lint: hot -- greedy routing inner loop, docs/MEMORY_LAYOUT.md budget applies *)
+
 module Bitset = Ftr_graph.Bitset
 
 type side = One_sided | Two_sided
@@ -439,6 +441,7 @@ let loop_erased_length path =
     Hashtbl.replace position v !top;
     incr top
   in
+  (* ftr-lint: disable R5 -- post-hoc analysis of an already-materialised path list, not the routing loop *)
   List.iter
     (fun v ->
       match Hashtbl.find_opt position v with

@@ -65,7 +65,7 @@ let parse ~next =
     | Some l -> l
     | None -> fail "unexpected end of input while reading %s" what
   in
-  let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+  let words s = String.split_on_char ' ' s |> List.filter (fun w -> not (String.equal w "")) in
   let int_word ~what w =
     match int_of_string_opt w with Some v -> v | None -> fail "bad integer %S in %s" w what
   in

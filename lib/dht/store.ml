@@ -47,7 +47,12 @@ let put t ~key ~value =
     let o = owner t key in
     if o < 0 || o >= Network.size t.net then
       Ftr_debug.Debug.failf "Store: owner %d of key %S is not a node" o key;
-    if Hashtbl.find_opt t.tables.(o) key <> Some value then
+    let landed =
+      match Hashtbl.find_opt t.tables.(o) key with
+      | Some stored -> String.equal stored value
+      | None -> false
+    in
+    if not landed then
       Ftr_debug.Debug.failf "Store: key %S missing at its primary owner %d after put" key o
   end
 

@@ -16,12 +16,15 @@ let read_existing ~path ~seed ~count =
   if not (Sys.file_exists path) then None
   else begin
     let lines = In_channel.with_open_text path In_channel.input_lines in
-    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    let lines = List.filter (fun l -> not (String.equal (String.trim l) "")) lines in
     match lines with
     | [] -> None
     | first :: rest ->
         (match Json.parse_opt first with
-        | Some h when Json.member "kind" h = Some (Json.String "sweep") ->
+        | Some h
+          when (match Json.member "kind" h with
+               | Some (Json.String k) -> String.equal k "sweep"
+               | Some _ | None -> false) ->
             let check field expected =
               match Json.member field h with
               | Some (Json.Int v) when v = expected -> ()
@@ -52,7 +55,7 @@ let read_existing ~path ~seed ~count =
           rest;
         let entries =
           Hashtbl.fold (fun i r acc -> (i, r) :: acc) seen []
-          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
         in
         Some entries
   end
@@ -64,7 +67,7 @@ let write_line oc j =
 
 let open_ ?(fresh = false) ~path ~seed ~count () =
   let dir = Filename.dirname path in
-  if dir <> "" && dir <> "." then Ftr_stats.Csv.mkdir_p dir;
+  if not (String.equal dir "" || String.equal dir ".") then Ftr_stats.Csv.mkdir_p dir;
   let existing = if fresh then None else read_existing ~path ~seed ~count in
   match existing with
   | Some completed ->

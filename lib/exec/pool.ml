@@ -36,7 +36,7 @@ let run_parallel ~jobs ~count f =
     (* The obs registries are not domain-safe; the coordinator reports for
        the pool (see pool.mli). *)
     Flag.suppress_in_domain true;
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     (try
        let continue = ref true in
        while !continue do
@@ -48,7 +48,7 @@ let run_parallel ~jobs ~count f =
            done
        done
      with e -> errors.(w) <- Some e);
-    busy.(w) <- Unix.gettimeofday () -. t0
+    busy.(w) <- Clock.now () -. t0
   in
   if Flag.enabled () then Metrics.set_gauge "exec_queue_depth" (float_of_int count);
   let domains = Array.init jobs (fun w -> Domain.spawn (worker w)) in

@@ -1,0 +1,78 @@
+(* Committed baseline: findings accepted as-is, keyed by rule, file and
+   the *trimmed text* of the offending source line rather than its line
+   number -- edits elsewhere in a file must not invalidate the baseline,
+   while any edit to the flagged line itself retires the entry.
+
+   File format, one entry per line (lines starting with '#' and blank
+   lines are comments):
+
+     R2<TAB>lib/foo/bar.ml<TAB>Array.sort compare arr;
+
+   Matching is multiset semantics: an entry absorbs exactly one finding
+   with the same key, so two identical violations on two lines need two
+   entries. *)
+
+type entry = { b_rule : string; b_file : string; b_content : string }
+
+let key_of ~rule ~file ~content = rule ^ "\t" ^ file ^ "\t" ^ String.trim content
+
+let key_of_entry e = key_of ~rule:e.b_rule ~file:e.b_file ~content:e.b_content
+
+let entry_of_finding ~source_line (f : Finding.t) =
+  { b_rule = Finding.rule_id f.rule; b_file = f.file; b_content = String.trim source_line }
+
+let parse_line line =
+  if String.length line = 0 || line.[0] = '#' then None
+  else
+    match String.split_on_char '\t' line with
+    | rule :: file :: rest when Finding.rule_of_id rule <> None ->
+        Some { b_rule = rule; b_file = file; b_content = String.trim (String.concat "\t" rest) }
+    | _ -> None
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let entries = ref [] in
+    (try
+       while true do
+         match parse_line (input_line ic) with
+         | Some e -> entries := e :: !entries
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+  end
+
+let save path entries =
+  let oc = open_out_bin path in
+  output_string oc "# ftr_lint baseline: RULE<TAB>file<TAB>trimmed source line\n";
+  output_string oc "# Regenerate with: ftr_lint <dirs> --write-baseline <this file>\n";
+  List.iter
+    (fun e -> Printf.fprintf oc "%s\t%s\t%s\n" e.b_rule e.b_file e.b_content)
+    entries;
+  close_out oc
+
+(* Split findings into (fresh, baselined); returns the count of entries
+   that matched nothing so the driver can report a stale baseline. *)
+let apply entries findings =
+  let budget = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = key_of_entry e in
+      Hashtbl.replace budget k (1 + Option.value ~default:0 (Hashtbl.find_opt budget k)))
+    entries;
+  let fresh, baselined =
+    List.partition
+      (fun ((f : Finding.t), source_line) ->
+        let k = key_of ~rule:(Finding.rule_id f.rule) ~file:f.file ~content:source_line in
+        match Hashtbl.find_opt budget k with
+        | Some n when n > 0 ->
+            Hashtbl.replace budget k (n - 1);
+            false
+        | Some _ | None -> true)
+      findings
+  in
+  let stale = Hashtbl.fold (fun _ n acc -> acc + n) budget 0 in
+  (fresh, List.length baselined, stale)

@@ -1,0 +1,113 @@
+(* File discovery, parsing, suppression/baseline application and
+   reporting. [lint_string] is the unit-test entry point; [run] is the
+   CLI entry point wired into `dune build @lint`. *)
+
+let clock_seam_files = [ "lib/obs/span.ml"; "lib/exec/clock.ml" ]
+
+let contains s sub = Suppress.find_sub s sub <> None
+
+let config_for file hot =
+  {
+    Rules.file;
+    hot;
+    in_obs = contains file "lib/obs/";
+    clock_seam = List.exists (fun sfx -> Filename.check_suffix file sfx) clock_seam_files;
+  }
+
+(* Lint one compilation unit given as text. Returns each surviving
+   finding paired with the trimmed text of its source line (the baseline
+   key). Parse errors propagate as the parser's own exceptions. *)
+let lint_string ~file source =
+  let sup = Suppress.scan source in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  let ast =
+    if Filename.check_suffix file ".mli" then Rules.Signature (Parse.interface lexbuf)
+    else Rules.Structure (Parse.implementation lexbuf)
+  in
+  let findings = Rules.run (config_for file (Suppress.hot sup)) ast in
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let line_text l = if l >= 1 && l <= Array.length lines then String.trim lines.(l - 1) else "" in
+  findings
+  |> List.filter (fun (f : Finding.t) -> not (Suppress.suppressed sup ~line:f.line f.rule))
+  |> List.map (fun (f : Finding.t) -> (f, line_text f.line))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_file path = lint_string ~file:path (read_file path)
+
+(* Every .ml/.mli under [dirs], depth-first, children in sorted order so
+   reports and baselines are themselves deterministic. *)
+let find_sources dirs =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc name ->
+             if String.length name = 0 || name.[0] = '.' || String.equal name "_build" then acc
+             else walk acc (Filename.concat path name))
+           acc
+    else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+      path :: acc
+    else acc
+  in
+  List.rev (List.fold_left walk [] dirs)
+
+let write_json_report path ~files ~fresh ~baselined ~stale =
+  let oc = open_out_bin path in
+  Printf.fprintf oc {|{"tool":"ftr_lint","files":%d,"baselined":%d,"stale_baseline":%d,|} files
+    baselined stale;
+  Printf.fprintf oc {|"findings":[%s]}|}
+    (String.concat "," (List.map (fun (f, _) -> Finding.to_json f) fresh));
+  output_char oc '\n';
+  close_out oc
+
+(* Exit status: 0 clean (modulo baseline), 1 findings, 2 usage/parse
+   error. *)
+let run ?baseline ?write_baseline ?json ?(quiet = false) ~dirs () =
+  match List.filter (fun d -> not (Sys.file_exists d)) dirs with
+  | missing :: _ ->
+      Printf.eprintf "ftr_lint: no such file or directory: %s\n" missing;
+      2
+  | [] -> (
+      let sources = find_sources dirs in
+      let all =
+        List.concat_map
+          (fun path ->
+            try lint_file path
+            with exn ->
+              Location.report_exception Format.err_formatter exn;
+              Printf.eprintf "ftr_lint: cannot parse %s\n" path;
+              exit 2)
+          sources
+      in
+      match write_baseline with
+      | Some path ->
+          Baseline.save path
+            (List.map (fun (f, line) -> Baseline.entry_of_finding ~source_line:line f) all);
+          Printf.printf "ftr_lint: wrote %d baseline entr%s to %s\n" (List.length all)
+            (if List.length all = 1 then "y" else "ies")
+            path;
+          0
+      | None ->
+          let entries = match baseline with Some p -> Baseline.load p | None -> [] in
+          let fresh, baselined, stale = Baseline.apply entries all in
+          (match json with
+          | Some path -> write_json_report path ~files:(List.length sources) ~fresh ~baselined ~stale
+          | None -> ());
+          if not quiet then List.iter (fun (f, _) -> print_endline (Finding.to_string f)) fresh;
+          if stale > 0 then
+            Printf.eprintf
+              "ftr_lint: %d stale baseline entr%s matched nothing (regenerate with \
+               --write-baseline)\n"
+              stale
+              (if stale = 1 then "y" else "ies");
+          Printf.printf "ftr_lint: %d file(s), %d finding(s), %d baselined\n" (List.length sources)
+            (List.length fresh) baselined;
+          (match fresh with [] -> 0 | _ -> 1))

@@ -1,0 +1,62 @@
+(* A finding is one breached rule at one source location. The rule set is
+   closed and small on purpose: each rule protects a property the paper's
+   reproduction depends on (docs/LINTING.md maps rule -> property). *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+
+let rule_name = function
+  | R1 -> "nondeterminism-source"
+  | R2 -> "polymorphic-comparison"
+  | R3 -> "unordered-iteration-in-output"
+  | R4 -> "ungated-telemetry"
+  | R5 -> "hot-path-allocation"
+
+let rule_of_id = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+type t = { file : string; line : int; col : int; rule : rule; message : string }
+
+let compare_findings a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_id a.rule) (rule_id b.rule)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s %s: %s" f.file f.line f.col (rule_id f.rule) (rule_name f.rule)
+    f.message
+
+(* Minimal JSON string escaping: the analyzer depends only on
+   compiler-libs, so it carries its own two-line encoder rather than
+   pulling in Ftr_obs.Json. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","name":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (rule_id f.rule) (rule_name f.rule) (json_escape f.message)

@@ -62,7 +62,7 @@ let neighbors t p =
     result := index t plus :: !result;
     if t.side > 2 then result := index t minus :: !result
   done;
-  List.sort_uniq compare !result
+  List.sort_uniq Int.compare !result
 
 let move t p ~axis ~delta =
   if axis < 0 || axis >= t.dims then invalid_arg "Torus.move: bad axis";

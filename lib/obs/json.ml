@@ -84,6 +84,7 @@ let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal s.[!pos] c in
   let advance () = incr pos in
   let skip_ws () =
     while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
@@ -181,11 +182,11 @@ let parse s =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin advance (); List [] end
+        if peek_is ']' then begin advance (); List [] end
         else begin
           let items = ref [ parse_value () ] in
           skip_ws ();
-          while peek () = Some ',' do
+          while peek_is ',' do
             advance ();
             items := parse_value () :: !items;
             skip_ws ()
@@ -196,7 +197,7 @@ let parse s =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
+        if peek_is '}' then begin advance (); Obj [] end
         else begin
           let field () =
             skip_ws ();
@@ -208,7 +209,7 @@ let parse s =
           in
           let fields = ref [ field () ] in
           skip_ws ();
-          while peek () = Some ',' do
+          while peek_is ',' do
             advance ();
             fields := field () :: !fields;
             skip_ws ()

@@ -62,15 +62,21 @@ let reset t =
 let labels_key labels =
   String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
 
+(* Labels are string pairs; keep their ordering typed so the registry key
+   never depends on polymorphic compare. *)
+let compare_label (ka, va) (kb, vb) =
+  let c = String.compare ka kb in
+  if c <> 0 then c else String.compare va vb
+
 let find_or_create t ~name ~labels ~kind make =
-  if name = "" then invalid_arg "Metrics: metric name must be non-empty";
+  if String.equal name "" then invalid_arg "Metrics: metric name must be non-empty";
   (match Hashtbl.find_opt t.kinds name with
   | Some k when k <> kind ->
       invalid_arg
         (Printf.sprintf "Metrics: %S is a %s, used as a %s" name (kind_name k) (kind_name kind))
   | Some _ -> ()
   | None -> Hashtbl.replace t.kinds name kind);
-  let labels = List.sort compare labels in
+  let labels = List.sort compare_label labels in
   let key = name ^ "{" ^ labels_key labels ^ "}" in
   match Hashtbl.find_opt t.table key with
   | Some e -> e.metric
@@ -115,7 +121,7 @@ let observe_int ?registry ?labels name v = observe ?registry ?labels name (float
 (* ------------------------------------------------------------------ *)
 
 let lookup t ~name ~labels =
-  let labels = List.sort compare labels in
+  let labels = List.sort compare_label labels in
   Hashtbl.find_opt t.table (name ^ "{" ^ labels_key labels ^ "}")
 
 let counter_value ?(registry = default) ?(labels = []) name =
@@ -176,8 +182,8 @@ let snapshot ?(registry = default) () =
   in
   List.sort
     (fun a b ->
-      let c = compare a.item_name b.item_name in
-      if c <> 0 then c else compare a.item_labels b.item_labels)
+      let c = String.compare a.item_name b.item_name in
+      if c <> 0 then c else List.compare compare_label a.item_labels b.item_labels)
     items
 
 let size ?(registry = default) () = Hashtbl.length registry.table

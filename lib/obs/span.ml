@@ -56,7 +56,7 @@ let record_duration name dt =
   if r.filled < sample_capacity then r.filled <- r.filled + 1
 
 let enter_always name =
-  if name = "" then invalid_arg "Span.enter: span name must be non-empty";
+  if String.equal name "" then invalid_arg "Span.enter: span name must be non-empty";
   stack := (name, !clock ()) :: !stack
 
 let leave_always name =
@@ -103,7 +103,7 @@ type stat = {
 
 let stat_of name r =
   let window = Array.sub r.samples 0 r.filled in
-  Array.sort compare window;
+  Array.sort Float.compare window;
   {
     span_name = name;
     count = Summary.count r.summary;
@@ -119,4 +119,4 @@ let find name =
 
 let stats () =
   Hashtbl.fold (fun name r acc -> stat_of name r :: acc) records []
-  |> List.sort (fun a b -> compare a.span_name b.span_name)
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)

@@ -108,7 +108,7 @@ let is_alive t pos = Option.is_some (live_node t pos)
 let live_positions t =
   let acc = ref [] in
   Hashtbl.iter (fun pos node -> if node.alive then acc := pos :: !acc) t.nodes;
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let neighbors_of node =
   let ring = Option.to_list node.left @ Option.to_list node.right in
@@ -299,12 +299,13 @@ and drop_dead_link t node ~dead =
     if obs then Ftr_obs.Metrics.incr "overlay_link_repairs_total";
     regenerate_long_link t node
   end;
-  if node.left = Some dead then begin
+  let points_at o = match o with Some p -> p = dead | None -> false in
+  if points_at node.left then begin
     node.left <- probe_ring t node ~from:dead ~dir:(-1);
     t.stats.repairs <- t.stats.repairs + 1;
     if obs then Ftr_obs.Metrics.incr "overlay_ring_repairs_total"
   end;
-  if node.right = Some dead then begin
+  if points_at node.right then begin
     node.right <- probe_ring t node ~from:dead ~dir:1;
     t.stats.repairs <- t.stats.repairs + 1;
     if obs then Ftr_obs.Metrics.incr "overlay_ring_repairs_total"
@@ -510,7 +511,7 @@ let populate t ~positions =
   match positions with
   | [] -> invalid_arg "Overlay.populate: need at least one position"
   | first :: rest ->
-      let sorted = List.sort_uniq compare (first :: rest) in
+      let sorted = List.sort_uniq Int.compare (first :: rest) in
       List.iter
         (fun pos ->
           if pos < 0 || pos >= t.line_size then invalid_arg "Overlay.populate: off the line";

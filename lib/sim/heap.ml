@@ -1,3 +1,5 @@
+(* ftr-lint: hot -- event-loop heap, every sim event passes through here *)
+
 (* Binary min-heap keyed by a caller-supplied comparison. Array-backed with
    amortised growth; the hot path of the event loop. *)
 

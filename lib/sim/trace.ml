@@ -83,14 +83,15 @@ let to_json t =
 (* Replay the retained entries into the structured event sink so a trace
    joins the JSONL stream alongside route/engine/overlay events. *)
 let emit_events ?(kind = "trace") t =
-  List.iter
-    (fun e ->
-      Ftr_obs.Events.emit ~time:e.time ~kind
-        [
-          ("level", Ftr_obs.Json.String (level_name e.level));
-          ("message", Ftr_obs.Json.String e.message);
-        ])
-    (entries t)
+  if Ftr_obs.Flag.enabled () then
+    List.iter
+      (fun e ->
+        Ftr_obs.Events.emit ~time:e.time ~kind
+          [
+            ("level", Ftr_obs.Json.String (level_name e.level));
+            ("message", Ftr_obs.Json.String e.message);
+          ])
+      (entries t)
 
 let pp_entry ppf e =
   Format.fprintf ppf "[%10.4f %-5s] %s" e.time (level_name e.level) e.message

@@ -43,7 +43,7 @@ let to_string ~header ~rows =
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     let parent = Filename.dirname dir in
-    if parent <> dir && parent <> "" then mkdir_p parent;
+    if not (String.equal parent dir || String.equal parent "") then mkdir_p parent;
     try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 

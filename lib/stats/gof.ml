@@ -52,8 +52,8 @@ let chi_square ~observed ~expected =
 
 let ks_two_sample xs ys =
   let a = Array.copy xs and b = Array.copy ys in
-  Array.sort compare a;
-  Array.sort compare b;
+  Array.sort Float.compare a;
+  Array.sort Float.compare b;
   let na = Array.length a and nb = Array.length b in
   if na = 0 || nb = 0 then invalid_arg "Gof.ks_two_sample: empty sample";
   let best = ref 0.0 in

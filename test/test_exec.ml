@@ -249,6 +249,35 @@ let checkpoint_tolerates_garbage () =
   Checkpoint.close t2;
   Sys.remove path
 
+(* The busy-time clock is injectable (Clock.set); with a constant clock
+   every worker's busy span collapses to exactly 0.0, which only happens
+   if the pool reads time through the seam and not Unix.gettimeofday
+   directly. The injected function must be domain-safe — here it is
+   pure. *)
+let pool_clock_injection () =
+  Ftr_obs.Flag.with_mode true @@ fun () ->
+  Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
+  Ftr_exec.Clock.set (fun () -> 42.0);
+  Fun.protect ~finally:Ftr_exec.Clock.reset @@ fun () ->
+  ignore (Pool.map ~jobs:2 ~count:8 (fun i -> i * i));
+  let busy =
+    List.filter_map
+      (fun it ->
+        if String.equal it.Ftr_obs.Metrics.item_name "exec_worker_busy_seconds" then
+          match it.Ftr_obs.Metrics.item_view with
+          | Ftr_obs.Metrics.Histogram_view v -> Some v
+          | _ -> None
+        else None)
+      (Ftr_obs.Metrics.snapshot ())
+  in
+  Alcotest.(check int) "one busy histogram per worker" 2 (List.length busy);
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "one observation" 1 v.Ftr_obs.Metrics.h_count;
+      Alcotest.(check (float 0.0)) "injected clock makes busy exactly zero" 0.0
+        v.Ftr_obs.Metrics.h_sum)
+    busy
+
 (* ------------------------------------------------------------------ *)
 (* Experiment parallel drivers                                         *)
 (* ------------------------------------------------------------------ *)
@@ -281,6 +310,7 @@ let () =
           quick "nested map degrades to sequential" pool_nested;
           quick "FTR_EXEC_SEQ fallback" pool_sequential_fallbacks;
           quick "coordinator metrics, worker suppression" pool_metrics;
+          quick "busy clock is injectable" pool_clock_injection;
         ] );
       ("determinism", [ QCheck_alcotest.to_alcotest qcheck_determinism ]);
       ("sweep", [ quick "grids are row-major" grids ]);
