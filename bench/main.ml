@@ -1,4 +1,4 @@
-(* ftr-lint: disable-file R1 -- benchmark wall-clock timing is the measurement itself *)
+(* ftr-lint: disable-file R1 T2 -- benchmark wall-clock timing is the measurement itself *)
 
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Sections 5 and 6, Table 1), then times the hot paths with

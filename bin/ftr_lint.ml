@@ -1,9 +1,15 @@
 (* ftr_lint: the project static analyzer (docs/LINTING.md). Wired into
-   `dune build @lint` alongside the runtime sanitizer battery; rules R1-R5
-   live in lib/lint.
+   `dune build @lint` alongside the runtime sanitizer battery; the
+   syntactic rules R1-R5 and the typed interprocedural rules T1-T4 live
+   in lib/lint.
 
-     ftr_lint [DIR|FILE ...] [--baseline FILE] [--write-baseline FILE]
+     ftr_lint [DIR|FILE ...] [--stage syntactic|typed|all] [--typed]
+              [--baseline FILE] [--update-baseline] [--write-baseline FILE]
               [--json FILE] [--quiet]
+
+   The typed stage reads the .cmt files a prior `dune build` produced
+   (under the scanned directories in a build context, or under
+   _build/default from a checkout).
 
    Exit status: 0 clean (modulo baseline), 1 findings, 2 usage or parse
    error. *)
@@ -12,23 +18,46 @@ let () =
   let dirs = ref [] in
   let baseline = ref None in
   let write_baseline = ref None in
+  let update_baseline = ref false in
   let json = ref None in
   let quiet = ref false in
+  let stages = ref [ Ftr_lint.Finding.Syntactic ] in
   let usage = "usage: ftr_lint [DIR|FILE ...] [options]" in
+  let set_stage = function
+    | "syntactic" -> stages := [ Ftr_lint.Finding.Syntactic ]
+    | "typed" -> stages := [ Ftr_lint.Finding.Typed ]
+    | "all" -> stages := [ Ftr_lint.Finding.Syntactic; Ftr_lint.Finding.Typed ]
+    | s ->
+        Printf.eprintf "ftr_lint: unknown stage %S (expected syntactic, typed or all)\n" s;
+        exit 2
+  in
   let spec =
     [
+      ( "--stage",
+        Arg.String set_stage,
+        "STAGE run `syntactic` (R1-R5, default), `typed` (T1-T4 over .cmt files) or `all`" );
+      ("--typed", Arg.Unit (fun () -> set_stage "typed"), " shorthand for --stage typed");
       ( "--baseline",
         Arg.String (fun p -> baseline := Some p),
         "FILE tolerate the findings recorded in FILE (see docs/LINTING.md)" );
+      ( "--update-baseline",
+        Arg.Set update_baseline,
+        " regenerate the --baseline file from current findings of the selected stages" );
       ( "--write-baseline",
         Arg.String (fun p -> write_baseline := Some p),
-        "FILE record every current finding into FILE and exit 0" );
+        "FILE record current findings of the selected stages into FILE and exit 0" );
       ("--json", Arg.String (fun p -> json := Some p), "FILE also write a JSON report to FILE");
       ("--quiet", Arg.Set quiet, " print only the summary line, not each finding");
     ]
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   let dirs = match List.rev !dirs with [] -> [ "lib"; "bin"; "bench" ] | l -> l in
+  let write_baseline =
+    match (!write_baseline, !update_baseline) with
+    | Some p, _ -> Some p (* explicit target wins *)
+    | None, true -> Some (Option.value ~default:"lint.baseline" !baseline)
+    | None, false -> None
+  in
   exit
-    (Ftr_lint.Driver.run ?baseline:!baseline ?write_baseline:!write_baseline ?json:!json
-       ~quiet:!quiet ~dirs ())
+    (Ftr_lint.Driver.run ?baseline:!baseline ?write_baseline ?json:!json ~quiet:!quiet
+       ~stages:!stages ~dirs ())

@@ -699,10 +699,15 @@ let check_cmd =
              "Runs every runtime invariant check (docs/CHECKING.md) against freshly built \
               networks, routes, the simulator and the DHT store. Exits 1 on any violation.";
            `P
-             "Static properties are covered separately by the $(b,ftr_lint) analyzer \
-              (docs/LINTING.md): $(b,dune build @lint) runs this battery and then lints \
-              lib/, bin/ and bench/ for nondeterminism sources, polymorphic comparison, \
-              hash-order output, ungated telemetry and hot-path allocation.";
+             "Static properties are covered separately by the two-stage $(b,ftr_lint) \
+              analyzer (docs/LINTING.md): $(b,dune build @lint) runs this battery, then \
+              lints lib/, bin/ and bench/ syntactically for nondeterminism sources, \
+              polymorphic comparison, hash-order output, ungated telemetry and hot-path \
+              allocation (R1-R5), and finally runs the typed interprocedural stage \
+              ($(b,@lint-typed), rules T1-T4) over the compiled .cmt files — a \
+              call-graph analysis catching cross-function domain races reachable from \
+              Ftr_exec.Pool worker jobs, transitive nondeterminism taint and typed \
+              comparison hazards.";
          ])
     Term.(const run $ n_t 1024 $ links_t $ seed_t $ verbose_t)
 

@@ -9,8 +9,8 @@ type arrival = Random_order | Sequential
 (* Nearest member of [present] to point [w]: the owner of w's basin of
    attraction. Ties go to the left. *)
 let nearest_present present w =
-  let above = IntSet.find_first_opt (fun x -> x >= w) present in
-  let below = IntSet.find_last_opt (fun x -> x <= w) present in
+  let above = IntSet.find_first_opt (fun (x : int) -> x >= w) present in
+  let below = IntSet.find_last_opt (fun (x : int) -> x <= w) present in
   match (below, above) with
   | None, None -> None
   | Some b, None -> Some b

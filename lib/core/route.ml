@@ -114,6 +114,8 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   let s =
     match scr with
     | Some s -> s
+    (* Selected only when tracking is off, and every scratch write below is
+       tracking-guarded: a shared read-only sentinel. ftr-lint: disable T1 *)
     | None when not tracking -> dummy_scratch
     | None ->
         let cell = Domain.DLS.get dls_scratch in

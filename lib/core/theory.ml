@@ -46,13 +46,13 @@ let upper_node_failure ~links ~death_p n =
    value is the bound's leading term with constant 1. *)
 let lower_one_sided ~links n =
   let ln = log (float_of_int n) in
-  ln *. ln /. (float_of_int links *. log (max 2.0 (log (float_of_int n))))
+  ln *. ln /. (float_of_int links *. log (Float.max 2.0 (log (float_of_int n))))
 
 (* Theorem 10 (two-sided): Omega(log^2 n / (ℓ^2 log log n)). *)
 let lower_two_sided ~links n =
   let ln = log (float_of_int n) in
   let l = float_of_int links in
-  ln *. ln /. (l *. l *. log (max 2.0 (log (float_of_int n))))
+  ln *. ln /. (l *. l *. log (Float.max 2.0 (log (float_of_int n))))
 
 (* Theorem 3: with ℓ links per node, T = Omega(log n / log ℓ). *)
 let lower_large_links ~links n =

@@ -16,6 +16,8 @@ let env_enabled =
 
 let enabled_ref = ref env_enabled
 
+(* Workers only read; [set_mode] is harness-side and runs before the pool
+   spawns domains. ftr-lint: disable T1 *)
 let enabled () = !enabled_ref
 
 let set_mode on = enabled_ref := on

@@ -9,4 +9,6 @@ let set f = clock := f
 
 let reset () = clock := default
 
+(* The injection point is written by [set]/[reset] before the pool spawns
+   domains; workers only dereference. ftr-lint: disable T1 *)
 let now () = !clock ()

@@ -6,27 +6,52 @@
    File format, one entry per line (lines starting with '#' and blank
    lines are comments):
 
-     R2<TAB>lib/foo/bar.ml<TAB>Array.sort compare arr;
+     syn:R2<TAB>lib/foo/bar.ml<TAB>Array.sort compare arr;
+     typed:T1<TAB>lib/foo/baz.ml<TAB>Hashtbl.replace table k v
 
-   Matching is multiset semantics: an entry absorbs exactly one finding
-   with the same key, so two identical violations on two lines need two
-   entries. *)
+   The rule field carries a stage namespace prefix ([syn:] or [typed:])
+   so syntactic and typed entries coexist unambiguously in one file;
+   bare rule ids from pre-typed-stage baselines are still accepted on
+   read and normalised to the rule's own stage. Matching is multiset
+   semantics: an entry absorbs exactly one finding with the same key, so
+   two identical violations on two lines need two entries. *)
 
 type entry = { b_rule : string; b_file : string; b_content : string }
+(* [b_rule] is stored in normalised namespaced form, e.g. "syn:R2". *)
 
-let key_of ~rule ~file ~content = rule ^ "\t" ^ file ^ "\t" ^ String.trim content
+let namespaced rule = Finding.(stage_namespace (stage_of_rule rule)) ^ ":" ^ Finding.rule_id rule
 
-let key_of_entry e = key_of ~rule:e.b_rule ~file:e.b_file ~content:e.b_content
+(* "syn:R2" / "typed:T1" / legacy bare "R2" -> the rule, in its
+   normalised namespaced spelling. *)
+let parse_rule_field s =
+  let bare = match String.index_opt s ':' with
+    | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+    | None -> s
+  in
+  Option.map namespaced (Finding.rule_of_id bare)
+
+let key_of ~rule ~file ~content = namespaced rule ^ "\t" ^ file ^ "\t" ^ String.trim content
+
+let key_of_entry e = e.b_rule ^ "\t" ^ e.b_file ^ "\t" ^ String.trim e.b_content
 
 let entry_of_finding ~source_line (f : Finding.t) =
-  { b_rule = Finding.rule_id f.rule; b_file = f.file; b_content = String.trim source_line }
+  { b_rule = namespaced f.rule; b_file = f.file; b_content = String.trim source_line }
+
+(* Stage of a (normalised) entry, for stage-selective regeneration. *)
+let entry_stage e =
+  if String.length e.b_rule >= 6 && String.equal (String.sub e.b_rule 0 6) "typed:" then
+    Finding.Typed
+  else Finding.Syntactic
 
 let parse_line line =
   if String.length line = 0 || line.[0] = '#' then None
   else
     match String.split_on_char '\t' line with
-    | rule :: file :: rest when Finding.rule_of_id rule <> None ->
-        Some { b_rule = rule; b_file = file; b_content = String.trim (String.concat "\t" rest) }
+    | rule :: file :: rest -> (
+        match parse_rule_field rule with
+        | Some r ->
+            Some { b_rule = r; b_file = file; b_content = String.trim (String.concat "\t" rest) }
+        | None -> None)
     | _ -> None
 
 let load path =
@@ -47,8 +72,8 @@ let load path =
 
 let save path entries =
   let oc = open_out_bin path in
-  output_string oc "# ftr_lint baseline: RULE<TAB>file<TAB>trimmed source line\n";
-  output_string oc "# Regenerate with: ftr_lint <dirs> --write-baseline <this file>\n";
+  output_string oc "# ftr_lint baseline: STAGE:RULE<TAB>file<TAB>trimmed source line\n";
+  output_string oc "# Regenerate with: ftr_lint <dirs> --stage all --update-baseline\n";
   List.iter
     (fun e -> Printf.fprintf oc "%s\t%s\t%s\n" e.b_rule e.b_file e.b_content)
     entries;
@@ -66,7 +91,7 @@ let apply entries findings =
   let fresh, baselined =
     List.partition
       (fun ((f : Finding.t), source_line) ->
-        let k = key_of ~rule:(Finding.rule_id f.rule) ~file:f.file ~content:source_line in
+        let k = key_of ~rule:f.rule ~file:f.file ~content:source_line in
         match Hashtbl.find_opt budget k with
         | Some n when n > 0 ->
             Hashtbl.replace budget k (n - 1);

@@ -1,8 +1,15 @@
-(* File discovery, parsing, suppression/baseline application and
-   reporting. [lint_string] is the unit-test entry point; [run] is the
-   CLI entry point wired into `dune build @lint`. *)
+(* File discovery, stage orchestration, suppression/baseline
+   application and reporting. [lint_string] is the unit-test entry point
+   for the syntactic stage; [run] is the CLI entry point wired into
+   `dune build @lint`.
 
-let clock_seam_files = [ "lib/obs/span.ml"; "lib/exec/clock.ml" ]
+   Two stages share one finding stream: the syntactic rules (R1-R5,
+   one Parsetree walk per source file) and the typed interprocedural
+   rules (T1-T4, a call-graph analysis over the .cmt corpus —
+   typed_rules.ml). [run] selects stages, merges and sorts their
+   findings, then applies the shared baseline. *)
+
+let clock_seam_files = Typed_rules.clock_seam_files
 
 let contains s sub = Suppress.find_sub s sub <> None
 
@@ -59,55 +66,97 @@ let find_sources dirs =
   in
   List.rev (List.fold_left walk [] dirs)
 
-let write_json_report path ~files ~fresh ~baselined ~stale =
+let write_json_report path ~stages ~files ~fresh ~baselined ~stale =
   let oc = open_out_bin path in
-  Printf.fprintf oc {|{"tool":"ftr_lint","files":%d,"baselined":%d,"stale_baseline":%d,|} files
-    baselined stale;
+  Printf.fprintf oc
+    {|{"tool":"ftr_lint","analyzer_version":"%s","stages":[%s],"files":%d,"baselined":%d,"stale_baseline":%d,|}
+    Finding.analyzer_version
+    (String.concat "," (List.map (fun s -> "\"" ^ Finding.stage_id s ^ "\"") stages))
+    files baselined stale;
   Printf.fprintf oc {|"findings":[%s]}|}
     (String.concat "," (List.map (fun (f, _) -> Finding.to_json f) fresh));
   output_char oc '\n';
   close_out oc
 
 (* Exit status: 0 clean (modulo baseline), 1 findings, 2 usage/parse
-   error. *)
-let run ?baseline ?write_baseline ?json ?(quiet = false) ~dirs () =
+   error. [stages] selects which analyses run; findings from both are
+   merged into one sorted stream before the baseline applies.
+   [write_baseline] regenerates the baseline file mechanically from the
+   current findings of the *selected* stages — entries belonging to
+   unselected stages are carried over from the existing file untouched,
+   so `--stage typed --update-baseline` cannot eat syntactic entries. *)
+let run ?baseline ?write_baseline ?json ?(quiet = false)
+    ?(stages = [ Finding.Syntactic ]) ~dirs () =
   match List.filter (fun d -> not (Sys.file_exists d)) dirs with
   | missing :: _ ->
       Printf.eprintf "ftr_lint: no such file or directory: %s\n" missing;
       2
   | [] -> (
-      let sources = find_sources dirs in
+      let syntactic =
+        if not (List.mem Finding.Syntactic stages) then []
+        else
+          find_sources dirs
+          |> List.concat_map (fun path ->
+                 try lint_file path
+                 with exn ->
+                   Location.report_exception Format.err_formatter exn;
+                   Printf.eprintf "ftr_lint: cannot parse %s\n" path;
+                   exit 2)
+      in
+      let typed_state, typed =
+        if not (List.mem Finding.Typed stages) then (None, [])
+        else
+          let state, found = Typed_driver.analyze ~root:"." ~dirs in
+          (Some state, found)
+      in
       let all =
-        List.concat_map
-          (fun path ->
-            try lint_file path
-            with exn ->
-              Location.report_exception Format.err_formatter exn;
-              Printf.eprintf "ftr_lint: cannot parse %s\n" path;
-              exit 2)
-          sources
+        List.sort
+          (fun ((a : Finding.t), _) ((b : Finding.t), _) -> Finding.compare_findings a b)
+          (syntactic @ typed)
+      in
+      let files =
+        if List.mem Finding.Syntactic stages then List.length (find_sources dirs)
+        else match typed_state with Some s -> Array.length s.Typed_rules.units | None -> 0
       in
       match write_baseline with
       | Some path ->
-          Baseline.save path
-            (List.map (fun (f, line) -> Baseline.entry_of_finding ~source_line:line f) all);
-          Printf.printf "ftr_lint: wrote %d baseline entr%s to %s\n" (List.length all)
-            (if List.length all = 1 then "y" else "ies")
-            path;
+          let kept =
+            List.filter
+              (fun e -> not (List.mem (Baseline.entry_stage e) stages))
+              (Baseline.load path)
+          in
+          let entries =
+            kept @ List.map (fun (f, line) -> Baseline.entry_of_finding ~source_line:line f) all
+          in
+          Baseline.save path entries;
+          Printf.printf "ftr_lint: wrote %d baseline entr%s to %s (%d carried over)\n"
+            (List.length entries)
+            (if List.length entries = 1 then "y" else "ies")
+            path (List.length kept);
           0
       | None ->
-          let entries = match baseline with Some p -> Baseline.load p | None -> [] in
+          let entries =
+            match baseline with
+            | Some p ->
+                (* Only entries of the selected stages participate: a
+                   typed entry is not "stale" during a syntactic-only
+                   run that cannot rediscover it. *)
+                List.filter
+                  (fun e -> List.mem (Baseline.entry_stage e) stages)
+                  (Baseline.load p)
+            | None -> []
+          in
           let fresh, baselined, stale = Baseline.apply entries all in
           (match json with
-          | Some path -> write_json_report path ~files:(List.length sources) ~fresh ~baselined ~stale
+          | Some path -> write_json_report path ~stages ~files ~fresh ~baselined ~stale
           | None -> ());
           if not quiet then List.iter (fun (f, _) -> print_endline (Finding.to_string f)) fresh;
           if stale > 0 then
             Printf.eprintf
               "ftr_lint: %d stale baseline entr%s matched nothing (regenerate with \
-               --write-baseline)\n"
+               --update-baseline)\n"
               stale
               (if stale = 1 then "y" else "ies");
-          Printf.printf "ftr_lint: %d file(s), %d finding(s), %d baselined\n" (List.length sources)
+          Printf.printf "ftr_lint: %d file(s), %d finding(s), %d baselined\n" files
             (List.length fresh) baselined;
           (match fresh with [] -> 0 | _ -> 1))

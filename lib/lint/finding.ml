@@ -1,12 +1,34 @@
 (* A finding is one breached rule at one source location. The rule set is
    closed and small on purpose: each rule protects a property the paper's
-   reproduction depends on (docs/LINTING.md maps rule -> property). *)
+   reproduction depends on (docs/LINTING.md maps rule -> property).
 
-type rule = R1 | R2 | R3 | R4 | R5
+   Rules come in two stages. R1-R5 are syntactic: one Parsetree walk per
+   file, no types, heuristics tuned to this tree's idioms (rules.ml).
+   T1-T4 are typed and interprocedural: they load the .cmt files dune
+   already produces, build a call graph over the Typedtree and reason
+   about worker-domain reachability, taint and real instantiation types
+   (typed_rules.ml). *)
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+type rule = R1 | R2 | R3 | R4 | R5 | T1 | T2 | T3 | T4
 
-let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+type stage = Syntactic | Typed
+
+(* Bumped whenever a rule's detection logic changes enough that recorded
+   reports are no longer comparable run-to-run; surfaced in lint.json. *)
+let analyzer_version = "2.0"
+
+let all_rules = [ R1; R2; R3; R4; R5; T1; T2; T3; T4 ]
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
+  | T4 -> "T4"
 
 let rule_name = function
   | R1 -> "nondeterminism-source"
@@ -14,6 +36,20 @@ let rule_name = function
   | R3 -> "unordered-iteration-in-output"
   | R4 -> "ungated-telemetry"
   | R5 -> "hot-path-allocation"
+  | T1 -> "domain-race"
+  | T2 -> "nondeterminism-taint"
+  | T3 -> "typed-polymorphic-comparison"
+  | T4 -> "typed-hot-path-allocation"
+
+let stage_of_rule = function
+  | R1 | R2 | R3 | R4 | R5 -> Syntactic
+  | T1 | T2 | T3 | T4 -> Typed
+
+let stage_id = function Syntactic -> "syntactic" | Typed -> "typed"
+
+(* The baseline's rule-namespace prefix, so syntactic and typed entries
+   coexist in one file without ambiguity (baseline.ml). *)
+let stage_namespace = function Syntactic -> "syn" | Typed -> "typed"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -21,6 +57,10 @@ let rule_of_id = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "T1" -> Some T1
+  | "T2" -> Some T2
+  | "T3" -> Some T3
+  | "T4" -> Some T4
   | _ -> None
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }
@@ -58,5 +98,8 @@ let json_escape s =
   Buffer.contents b
 
 let to_json f =
-  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","name":"%s","message":"%s"}|}
-    (json_escape f.file) f.line f.col (rule_id f.rule) (rule_name f.rule) (json_escape f.message)
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","name":"%s","stage":"%s","message":"%s"}|}
+    (json_escape f.file) f.line f.col (rule_id f.rule) (rule_name f.rule)
+    (stage_id (stage_of_rule f.rule))
+    (json_escape f.message)

@@ -1,0 +1,80 @@
+(* Orchestration for the typed stage: load the .cmt corpus, scan
+   sources for directives (the same `ftr-lint:` grammar the syntactic
+   stage uses — typed rule ids are valid in [disable]/[disable-file],
+   and [hot] opts a module into T4), run the rules, drop suppressed
+   findings and pair the survivors with their source line text for the
+   baseline. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A finding's [file] is build-relative (it comes from the cmt's
+   locations); the checkout source is preferred, the copy under
+   [_build/default] is the fallback for odd invocation directories. *)
+let source_path ~root file =
+  let direct = Filename.concat root file in
+  if Sys.file_exists direct then Some direct
+  else
+    let copied = Filename.concat root (Filename.concat "_build/default" file) in
+    if Sys.file_exists copied then Some copied else None
+
+type source_info = { sup : Suppress.t; lines : string array }
+
+let load_source ~root file =
+  match source_path ~root file with
+  | None -> None
+  | Some path ->
+      let text = read_file path in
+      Some
+        {
+          sup = Suppress.scan text;
+          lines = Array.of_list (String.split_on_char '\n' text);
+        }
+
+(* Run T1-T4 over every compilation unit found under [dirs] (resolved
+   against [root]); returns surviving findings with their baseline key
+   text, sorted. [units] and the callgraph are also returned so tests
+   can assert on reachability directly. *)
+let analyze ~root ~dirs =
+  let units = Cmt_loader.load_dirs ~root dirs in
+  let sources = Hashtbl.create 64 in
+  let source_for file =
+    match Hashtbl.find_opt sources file with
+    | Some s -> s
+    | None ->
+        let s = load_source ~root file in
+        Hashtbl.add sources file s;
+        s
+  in
+  let hot_files =
+    List.filter_map
+      (fun (u : Cmt_loader.unit_info) ->
+        match source_for u.source with
+        | Some { sup; _ } when Suppress.hot sup -> Some u.source
+        | _ -> None)
+      units
+  in
+  let state, findings = Typed_rules.run ~hot_files units in
+  let kept =
+    List.filter_map
+      (fun (f : Finding.t) ->
+        match source_for f.file with
+        | None -> Some (f, "")
+        | Some { sup; lines } ->
+            if Suppress.suppressed sup ~line:f.line f.rule then None
+            else
+              let text =
+                if f.line >= 1 && f.line <= Array.length lines then
+                  String.trim lines.(f.line - 1)
+                else ""
+              in
+              Some (f, text))
+      findings
+  in
+  (state, kept)
+
+let findings ~root ~dirs = snd (analyze ~root ~dirs)

@@ -1,0 +1,623 @@
+(* The typed, interprocedural rule engine: two passes over every loaded
+   Typedtree, one shared call graph, four rules.
+
+   T1 domain-race           -- toplevel mutable state reachable from a
+      function transitively invoked inside an [Ftr_exec.Pool] worker job
+      (or a bare [Domain.spawn] closure) without passing through the
+      sanctioned seams: Atomic/Mutex/Domain.DLS-typed state, and
+      branches dominated by [Ftr_obs.Flag.enabled] — the one gate that
+      consults [Flag.suppress_in_domain]'s domain-local flag, so code
+      behind it never runs inside a worker.
+   T2 nondeterminism-taint  -- [Random.*]/[Sys.time]/[Unix.gettimeofday]
+      propagated through the call graph: a toplevel function that calls
+      (transitively) into a nondeterminism source is itself flagged,
+      upgrading R1 from "this expression reads the clock" to "this
+      exported function is nondeterministic". The injectable clock seams
+      (lib/obs/span.ml, lib/exec/clock.ml) are declared sanitizers:
+      sources inside them taint nothing.
+   T3 typed-polymorphic-comparison -- the real instantiation type of
+      every [compare]/[=]/[<]/[min]/... occurrence, replacing R2's
+      "clearly structural operand" heuristic: floats buried in
+      structures, closures and abstract types are caught even through
+      bare identifiers.
+   T4 typed-hot-path-allocation -- in modules tagged [ftr-lint: hot],
+      allocations the Typedtree makes visible inside loop bodies
+      (tuples, records, non-constant constructors — including boxed
+      float payloads — array literals, closures and partial
+      applications), upgrading R5 beyond the List-combinator list.
+
+   Pass 1 registers nodes for every toplevel binding (with cross-unit
+   names) and classifies toplevel globals; pass 2 walks bodies adding
+   edges, accesses, taints and the purely local findings. *)
+
+open Typedtree
+
+(* Wall-clock seam files, shared with the syntactic stage (driver.ml):
+   sources inside them are the sanctioned injection points. *)
+let clock_seam_files = [ "lib/obs/span.ml"; "lib/exec/clock.ml" ]
+
+let is_clock_seam file = List.exists (fun sfx -> Filename.check_suffix file sfx) clock_seam_files
+
+(* ------------------------------------------------------------------ *)
+(* Paths                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let path_parts p = Type_probe.strip_stdlib (String.split_on_char '.' (Path.name p))
+
+let dotted p = String.concat "." (path_parts p)
+
+(* Worker-job boundaries: the function arguments of these calls execute
+   on pool/worker domains. Module heads may appear in wrapper-alias form
+   ("Ftr_exec.Pool") or mangled form ("Ftr_exec__Pool") depending on
+   where the reference sits. *)
+let module_head m name = String.equal m name || String.ends_with ~suffix:("__" ^ name) m
+
+let is_worker_boundary parts =
+  match List.rev parts with
+  (* Intra-library references print relative ("Pool.map"), cross-library
+     ones qualified ("Ftr_exec.Pool.map" / "Ftr_exec__Pool.map"); accept
+     any Pool-headed spelling — there is exactly one Pool. *)
+  | ("map" | "map_seeded") :: m :: _ -> module_head m "Pool"
+  | "spawn" :: "Domain" :: _ -> true
+  | _ -> false
+
+let is_flag_enabled parts =
+  match List.rev parts with "enabled" :: m :: _ -> module_head m "Flag" | _ -> false
+
+(* R1's nondeterminism sources, re-used by T2 as taint seeds. *)
+let is_nondet_source parts =
+  match parts with
+  | "Random" :: _ :: _ -> true
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] -> true
+  | _ -> false
+
+let poly_compare_op parts =
+  match parts with
+  | [ ("=" | "<>") ] -> Some (List.hd parts, true)
+  | [ ("<" | ">" | "<=" | ">=") ] -> Some (List.hd parts, false)
+  | [ ("compare" | "min" | "max") ] -> Some (List.hd parts, true)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Analysis state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type global = {
+  g_node : int; (* its callgraph node *)
+  g_name : string;
+  g_why : string; (* which mutable component makes it shared state *)
+}
+
+type access = {
+  a_node : int; (* accessing node *)
+  a_global : global;
+  a_file : string;
+  a_line : int;
+  a_col : int;
+  a_gated : bool;
+  a_in_worker_arg : bool; (* textually inside a worker-job argument *)
+}
+
+type taint_src = { s_node : int; s_what : string }
+
+type alloc = { l_file : string; l_line : int; l_col : int; l_what : string; l_node : int }
+
+type cmp = { c_file : string; c_line : int; c_col : int; c_op : string; c_why : string }
+
+type t = {
+  graph : Callgraph.t;
+  decls : Type_probe.table;
+  (* (unit index, Ident.unique_name) -> node id; locals are added on
+     the fly during pass 2, toplevels in pass 1. Idents are per-unit:
+     stamps collide across cmts, hence the unit index in the key. *)
+  by_stamp : (int * string, int) Hashtbl.t;
+  (* cross-unit name -> node id, e.g. "Ftr_core__Route.route" and
+     "Ftr_core.Route.route". *)
+  by_name : (string, int) Hashtbl.t;
+  globals : (int, global) Hashtbl.t; (* node id -> global info *)
+  mutable worker_roots : int list; (* reversed; order fixed before use *)
+  mutable accesses : access list;
+  mutable taint_sources : taint_src list;
+  mutable allocs : alloc list;
+  mutable cmps : cmp list;
+  mutable hot_files : string list;
+  units : Cmt_loader.unit_info array;
+}
+
+let display_unit modname =
+  (* "Ftr_core__Route" -> "Ftr_core.Route"; executables keep their
+     mangled "Dune__exe__P2psim" readable enough the same way. *)
+  let b = Buffer.create (String.length modname) in
+  let i = ref 0 in
+  let n = String.length modname in
+  while !i < n do
+    if !i + 1 < n && modname.[!i] = '_' && modname.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b modname.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let loc_of (loc : Location.t) ~fallback_file =
+  let pos = loc.loc_start in
+  let file = if String.equal pos.pos_fname "" then fallback_file else pos.pos_fname in
+  (file, pos.pos_lnum, pos.pos_cnum - pos.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: toplevel nodes, globals, declaration table                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-unit spellings under which other units may reference a
+   toplevel binding (mirrors Type_probe.decl_keys). *)
+let name_keys ~modname ~subpath name =
+  let inner = String.concat "." (subpath @ [ name ]) in
+  let keys = [ modname ^ "." ^ inner ] in
+  match Suppress.find_sub modname "__" with
+  | Some i ->
+      let lib = String.sub modname 0 i in
+      let sub = String.sub modname (i + 2) (String.length modname - i - 2) in
+      (lib ^ "." ^ sub ^ "." ^ inner) :: keys
+  | None -> keys
+
+(* A type-level [Mutable] verdict can overshoot the value: [Failure.none]
+   has a type that *may* carry a Bitset, but the constant
+   [{ node_view = N_all; link_view = L_all }] holds no mutable cell at
+   all. A RHS built purely from constants, constant-field records
+   (checked against the labels' own [lbl_mut]), constructors and empty
+   arrays cannot be written through, so the binding is not shared
+   mutable state whatever its type says. *)
+let rec rhs_definitely_immutable (e : expression) =
+  match e.exp_desc with
+  | Texp_constant _ -> true
+  | Texp_construct (_, _, args) -> List.for_all rhs_definitely_immutable args
+  | Texp_variant (_, arg) -> Option.fold ~none:true ~some:rhs_definitely_immutable arg
+  | Texp_tuple es -> List.for_all rhs_definitely_immutable es
+  | Texp_array [] -> true (* zero length: nothing to write *)
+  | Texp_record { fields; extended_expression = None } ->
+      Array.for_all
+        (fun ((lbl : Types.label_description), def) ->
+          (match lbl.lbl_mut with Asttypes.Immutable -> true | Asttypes.Mutable -> false)
+          &&
+          match def with
+          | Overridden (_, e) -> rhs_definitely_immutable e
+          | Kept _ -> false)
+        fields
+  | _ -> false
+
+(* [let x = e] types its pattern as [Tpat_var]; the annotated form
+   [let x : t = e] as [Tpat_alias (Tpat_any, x, _)]. Both are the same
+   named binding. *)
+let binding_var (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, name_loc) -> Some (id, name_loc)
+  | Tpat_alias ({ pat_desc = Tpat_any; _ }, id, name_loc) -> Some (id, name_loc)
+  | _ -> None
+
+let register_toplevels t ui =
+  let u = t.units.(ui) in
+  let unit_disp = display_unit u.modname in
+  let rec items subpath (its : structure_item list) =
+    List.iter
+      (fun (it : structure_item) ->
+        match it.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                match binding_var vb.vb_pat with
+                | Some (id, name_loc) ->
+                    let file, line, col = loc_of name_loc.loc ~fallback_file:u.source in
+                    let disp =
+                      unit_disp ^ "." ^ String.concat "." (subpath @ [ Ident.name id ])
+                    in
+                    let node = Callgraph.add_node t.graph ~name:disp ~file ~line ~col in
+                    Hashtbl.replace t.by_stamp (ui, Ident.unique_name id) node;
+                    List.iter
+                      (fun k -> if not (Hashtbl.mem t.by_name k) then Hashtbl.add t.by_name k node)
+                      (name_keys ~modname:u.modname ~subpath (Ident.name id));
+                    (* A non-function toplevel whose type carries
+                       unsanctioned mutable state is a shared global. *)
+                    (match Types.get_desc vb.vb_expr.exp_type with
+                    | Types.Tarrow _ -> ()
+                    | _ -> (
+                        match
+                          Type_probe.mutability t.decls ~modname:u.modname vb.vb_expr.exp_type
+                        with
+                        | Type_probe.Mutable why when not (rhs_definitely_immutable vb.vb_expr)
+                          ->
+                            Hashtbl.replace t.globals node
+                              { g_node = node; g_name = disp; g_why = why }
+                        | Type_probe.Mutable _ | Type_probe.Immutable | Type_probe.Sanctioned ->
+                            ()))
+                | None -> ())
+              vbs
+        | Tstr_module mb -> module_binding subpath mb
+        | Tstr_recmodule mbs -> List.iter (module_binding subpath) mbs
+        | _ -> ())
+      its
+  and module_binding subpath (mb : module_binding) =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    let rec of_expr (me : module_expr) =
+      match me.mod_desc with
+      | Tmod_structure str -> items (subpath @ [ name ]) str.str_items
+      | Tmod_constraint (me, _, _, _) -> of_expr me
+      | _ -> ()
+    in
+    of_expr mb.mb_expr
+  in
+  items [] u.structure.str_items
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: bodies                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-unit gate variables: stamps of let-bound names whose defining
+   expression consults [Flag.enabled] (the `let obs = Flag.enabled ()
+   in ... if obs then ...` idiom). *)
+let collect_gate_vars (u : Cmt_loader.unit_info) =
+  let vars = Hashtbl.create 8 in
+  let mentions_enabled e =
+    let found = ref false in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.exp_desc with
+            | Texp_ident (p, _, _) when is_flag_enabled (path_parts p) -> found := true
+            | _ -> ());
+            Tast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) when mentions_enabled vb.vb_expr ->
+              Hashtbl.replace vars (Ident.unique_name id) ()
+          | _ -> ());
+          Tast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  it.structure it u.structure;
+  vars
+
+let walk_unit t ui =
+  let u = t.units.(ui) in
+  let unit_disp = display_unit u.modname in
+  let hot = List.exists (fun f -> String.equal f u.source) t.hot_files in
+  let seam = is_clock_seam u.source in
+  let gate_vars = collect_gate_vars u in
+  (* Synthetic node for module-initialisation code ([let () = ...],
+     [Tstr_eval], RHS of pattern bindings). *)
+  let init_node =
+    Callgraph.add_node t.graph ~name:(unit_disp ^ ".(init)") ~file:u.source ~line:1 ~col:0
+  in
+  let current = ref init_node in
+  let gate_depth = ref 0 in
+  let loop_depth = ref 0 in
+  let worker_arg_depth = ref 0 in
+  let resolve_path p =
+    match p with
+    | Path.Pident id -> Hashtbl.find_opt t.by_stamp (ui, Ident.unique_name id)
+    | _ -> Hashtbl.find_opt t.by_name (Path.name p)
+  in
+  let cond_is_gate c =
+    let found = ref false in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.exp_desc with
+            | Texp_ident (Path.Pident id, _, _) when Hashtbl.mem gate_vars (Ident.unique_name id) ->
+                found := true
+            | Texp_ident (p, _, _) when is_flag_enabled (path_parts p) -> found := true
+            | _ -> ());
+            Tast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.expr it c;
+    !found
+  in
+  let record_alloc loc what =
+    if hot && !loop_depth > 0 then begin
+      let l_file, l_line, l_col = loc_of loc ~fallback_file:u.source in
+      t.allocs <- { l_file; l_line; l_col; l_what = what; l_node = !current } :: t.allocs
+    end
+  in
+  let ident_ref e p =
+    let parts = path_parts p in
+    let file, line, col = loc_of e.exp_loc ~fallback_file:u.source in
+    (* Call-graph edge and worker roots. *)
+    (match resolve_path p with
+    | Some target ->
+        if target <> !current then
+          Callgraph.add_edge t.graph ~gated:(!gate_depth > 0) !current target;
+        if !worker_arg_depth > 0 then t.worker_roots <- target :: t.worker_roots;
+        (* Access to a toplevel mutable global. *)
+        (match Hashtbl.find_opt t.globals target with
+        | Some g ->
+            t.accesses <-
+              {
+                a_node = !current;
+                a_global = g;
+                a_file = file;
+                a_line = line;
+                a_col = col;
+                a_gated = !gate_depth > 0;
+                a_in_worker_arg = !worker_arg_depth > 0;
+              }
+              :: t.accesses
+        | None -> ())
+    | None -> ());
+    (* T2 taint seeds. *)
+    if (not seam) && is_nondet_source parts then
+      t.taint_sources <- { s_node = !current; s_what = dotted p } :: t.taint_sources;
+    (* T3: instantiation type of a polymorphic comparison operator.
+       The occurrence's own type is the instantiated arrow; its first
+       argument type is the compared type, whether the operator is
+       applied here or passed to a higher-order function. *)
+    match poly_compare_op parts with
+    | Some (op, strict_float) -> (
+        match Types.get_desc e.exp_type with
+        | Types.Tarrow (_, arg, _, _) -> (
+            match Type_probe.comparison_unsafe t.decls ~modname:u.modname ~strict_float arg with
+            | Some why ->
+                t.cmps <- { c_file = file; c_line = line; c_col = col; c_op = op; c_why = why }
+                          :: t.cmps
+            | None -> ())
+        | _ -> ())
+    | None -> ()
+  in
+  let expr it (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> ident_ref e p
+    | Texp_ifthenelse (c, then_, else_opt) when cond_is_gate c ->
+        it.Tast_iterator.expr it c;
+        incr gate_depth;
+        it.Tast_iterator.expr it then_;
+        Option.iter (it.Tast_iterator.expr it) else_opt;
+        decr gate_depth
+    | Texp_while (cond, body) ->
+        it.Tast_iterator.expr it cond;
+        incr loop_depth;
+        it.Tast_iterator.expr it body;
+        decr loop_depth
+    | Texp_for (_, _, lo, hi, _, body) ->
+        it.Tast_iterator.expr it lo;
+        it.Tast_iterator.expr it hi;
+        incr loop_depth;
+        it.Tast_iterator.expr it body;
+        decr loop_depth
+    | Texp_apply (fn, args) ->
+        let boundary =
+          match fn.exp_desc with
+          | Texp_ident (p, _, _) -> is_worker_boundary (path_parts p)
+          | _ -> false
+        in
+        it.Tast_iterator.expr it fn;
+        List.iter
+          (fun (_, arg) ->
+            match arg with
+            | None -> ()
+            | Some (a : expression) ->
+                let is_fn =
+                  match Types.get_desc a.exp_type with Types.Tarrow _ -> true | _ -> false
+                in
+                if boundary && is_fn then begin
+                  incr worker_arg_depth;
+                  it.Tast_iterator.expr it a;
+                  decr worker_arg_depth
+                end
+                else it.Tast_iterator.expr it a)
+          args;
+        (* A partial application materialises a closure. *)
+        (match Types.get_desc e.exp_type with
+        | Types.Tarrow _ -> record_alloc e.exp_loc "partial application (closure)"
+        | _ -> ())
+    | Texp_function _ ->
+        record_alloc e.exp_loc "closure";
+        (* The body runs when called, not while this loop spins. *)
+        let saved = !loop_depth in
+        loop_depth := 0;
+        Tast_iterator.default_iterator.expr it e;
+        loop_depth := saved
+    | Texp_tuple _ ->
+        record_alloc e.exp_loc "tuple";
+        Tast_iterator.default_iterator.expr it e
+    | Texp_record _ ->
+        record_alloc e.exp_loc "record";
+        Tast_iterator.default_iterator.expr it e
+    | Texp_array (_ :: _) ->
+        record_alloc e.exp_loc "array literal";
+        Tast_iterator.default_iterator.expr it e
+    | Texp_construct (_, cd, (_ :: _ as args)) ->
+        let boxes_float =
+          List.exists
+            (fun (a : expression) ->
+              match Types.get_desc a.exp_type with
+              | Types.Tconstr (p, _, _) -> String.equal (dotted p) "float"
+              | _ -> false)
+            args
+        in
+        record_alloc e.exp_loc
+          (if boxes_float then
+             Printf.sprintf "constructor %s with a boxed float payload" cd.cstr_name
+           else Printf.sprintf "constructor %s" cd.cstr_name);
+        Tast_iterator.default_iterator.expr it e
+    | _ -> Tast_iterator.default_iterator.expr it e
+  in
+  (* Named let-bindings switch the owning node while their RHS is
+     walked; nodes for locals are created here on first sight. *)
+  let value_binding it (vb : value_binding) =
+    match binding_var vb.vb_pat with
+    | Some (id, name_loc) ->
+        let node =
+          match Hashtbl.find_opt t.by_stamp (ui, Ident.unique_name id) with
+          | Some n -> n
+          | None ->
+              let file, line, col = loc_of name_loc.loc ~fallback_file:u.source in
+              let disp = Callgraph.(name t.graph !current) ^ "/" ^ Ident.name id in
+              let n = Callgraph.add_node t.graph ~name:disp ~file ~line ~col in
+              Hashtbl.replace t.by_stamp (ui, Ident.unique_name id) n;
+              n
+        in
+        (* Evaluating the RHS of a non-function binding happens the
+           moment the enclosing code runs, so charge an edge from the
+           definer; a syntactic function's body only runs when called,
+           and call sites add their own edges. *)
+        let rhs_is_function =
+          match vb.vb_expr.exp_desc with Texp_function _ -> true | _ -> false
+        in
+        if node <> !current && not rhs_is_function then
+          Callgraph.add_edge t.graph ~gated:(!gate_depth > 0) !current node;
+        (* The RHS evaluates wherever the binding sits — keep the loop
+           depth; a function RHS zeroes it in the [Texp_function] case. *)
+        let saved = !current in
+        current := node;
+        Tast_iterator.default_iterator.value_binding it vb;
+        current := saved
+    | None -> Tast_iterator.default_iterator.value_binding it vb
+  in
+  let iter = { Tast_iterator.default_iterator with expr; value_binding } in
+  iter.structure iter u.structure
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let finding rule file line col message = { Finding.file; line; col; rule; message }
+
+let chain_suffix names =
+  match names with
+  | [] -> ""
+  | _ -> Printf.sprintf " (worker job -> %s)" (String.concat " -> " names)
+
+(* T1: unsanctioned toplevel mutable state touched by worker-reachable
+   code, ungated accesses only. *)
+let t1_findings t =
+  let roots = List.sort_uniq Int.compare (List.rev t.worker_roots) in
+  let visited, parent = Callgraph.bfs t.graph ~through_gated:false roots in
+  List.filter_map
+    (fun a ->
+      let reachable =
+        a.a_in_worker_arg || (a.a_node < Array.length visited && visited.(a.a_node))
+      in
+      if reachable && not a.a_gated then
+        let via =
+          if a.a_in_worker_arg then []
+          else Callgraph.chain t.graph parent a.a_node
+        in
+        Some
+          (finding Finding.T1 a.a_file a.a_line a.a_col
+             (Printf.sprintf
+                "%s is toplevel mutable state (%s) touched by code reachable from an \
+                 Ftr_exec.Pool worker job%s; share it through Atomic/Mutex/Domain.DLS or keep \
+                 it domain-local (docs/PARALLELISM.md)"
+                a.a_global.g_name a.a_global.g_why (chain_suffix via)))
+      else None)
+    (List.rev t.accesses)
+
+(* T2: toplevel functions transitively tainted by a nondeterminism
+   source. Direct uses are R1's findings; T2 reports the propagation. *)
+let t2_findings t =
+  let sources = List.rev t.taint_sources in
+  let direct = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace direct s.s_node s.s_what) sources;
+  let seeds = List.sort_uniq Int.compare (List.map (fun s -> s.s_node) sources) in
+  let visited, parent = Callgraph.bfs t.graph ~reverse:true seeds in
+  let findings = ref [] in
+  for nd = 0 to Callgraph.node_count t.graph - 1 do
+    let nm = Callgraph.name t.graph nd in
+    if
+      nd < Array.length visited
+      && visited.(nd)
+      && (not (Hashtbl.mem direct nd))
+      && Suppress.find_sub nm "/" = None (* locals: their toplevel owner reports *)
+      && not (Filename.check_suffix nm ".(init)")
+    then begin
+      let info = Callgraph.node t.graph nd in
+      (* The reverse-BFS parent chain runs source -> ... -> nd; reverse
+         it to read as a call chain nd -> ... -> source. *)
+      let chain = List.rev (Callgraph.chain t.graph parent nd) in
+      let src_name = match List.rev chain with s :: _ -> s | [] -> "?" in
+      let what =
+        match Hashtbl.fold (fun n w acc -> if Callgraph.name t.graph n = src_name then Some w else acc) direct None with
+        | Some w -> w
+        | None -> "a nondeterminism source"
+      in
+      findings :=
+        finding Finding.T2 info.file info.line info.col
+          (Printf.sprintf
+             "%s is transitively nondeterministic: %s reaches %s; thread an Ftr_prng.Rng or an \
+              injectable clock through the call chain instead"
+             (Callgraph.name t.graph nd)
+             (String.concat " -> " chain)
+             what)
+        :: !findings
+    end
+  done;
+  List.rev !findings
+
+let t3_findings t =
+  List.rev_map
+    (fun c ->
+      finding Finding.T3 c.c_file c.c_line c.c_col
+        (Printf.sprintf
+           "polymorphic %s instantiated at %s; use a typed comparator (Float.compare, \
+            Int.equal, a per-field compare)"
+           c.c_op c.c_why))
+    t.cmps
+
+let t4_findings t =
+  List.rev_map
+    (fun l ->
+      finding Finding.T4 l.l_file l.l_line l.l_col
+        (Printf.sprintf
+           "allocates a %s inside a loop of a module tagged `ftr-lint: hot` (allocation-free \
+            hot path, docs/MEMORY_LAYOUT.md)"
+           l.l_what))
+    t.allocs
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [hot_files]: build-relative sources carrying the [ftr-lint: hot] tag
+   (the driver scans sources for directives anyway and passes the list
+   down). *)
+let run ~hot_files units =
+  let units = Array.of_list units in
+  let t =
+    {
+      graph = Callgraph.create ();
+      decls = Type_probe.build_table (Array.to_list units);
+      by_stamp = Hashtbl.create 1024;
+      by_name = Hashtbl.create 1024;
+      globals = Hashtbl.create 64;
+      worker_roots = [];
+      accesses = [];
+      taint_sources = [];
+      allocs = [];
+      cmps = [];
+      hot_files;
+      units;
+    }
+  in
+  for ui = 0 to Array.length units - 1 do
+    register_toplevels t ui
+  done;
+  for ui = 0 to Array.length units - 1 do
+    walk_unit t ui
+  done;
+  let findings = t1_findings t @ t2_findings t @ t3_findings t @ t4_findings t in
+  (t, List.sort_uniq Finding.compare_findings findings)

@@ -27,7 +27,7 @@ let labels_string labels =
 let span_report () =
   let buf = Buffer.create 512 in
   let stats = Span.stats () in
-  if stats = [] then Buffer.add_string buf "spans: none recorded\n"
+  if List.is_empty stats then Buffer.add_string buf "spans: none recorded\n"
   else begin
     Buffer.add_string buf
       (Printf.sprintf "%-28s %8s %12s %12s %12s %12s %12s\n" "span" "count" "total(s)" "min(s)"
@@ -44,7 +44,7 @@ let span_report () =
 let metrics_report ?registry () =
   let buf = Buffer.create 1024 in
   let items = Metrics.snapshot ?registry () in
-  if items = [] then Buffer.add_string buf "metrics: registry empty\n"
+  if List.is_empty items then Buffer.add_string buf "metrics: registry empty\n"
   else
     List.iter
       (fun (i : Metrics.item) ->

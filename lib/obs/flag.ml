@@ -24,6 +24,8 @@ let enabled_ref = ref env_enabled
    DLS lookup. *)
 let suppressed_key = Domain.DLS.new_key (fun () -> false)
 
+(* Workers only read; writes ([set_mode]/[with_mode]) are harness-side and
+   happen before the pool spawns domains. ftr-lint: disable T1 *)
 let enabled () = !enabled_ref && not (Domain.DLS.get suppressed_key)
 
 let suppress_in_domain on = Domain.DLS.set suppressed_key on

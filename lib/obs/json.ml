@@ -33,8 +33,8 @@ let escape_to buf s =
 
 let float_repr x =
   if Float.is_nan x then "null" (* JSON has no NaN/inf; degrade to null *)
-  else if x = infinity then "null"
-  else if x = neg_infinity then "null"
+  else if Float.equal x infinity then "null"
+  else if Float.equal x neg_infinity then "null"
   else
     let s = Printf.sprintf "%.12g" x in
     (* "%.12g" may print "1e+06" (valid JSON) or "1" (valid); it never

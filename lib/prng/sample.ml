@@ -79,7 +79,7 @@ let exponential rng ~rate =
 
 let geometric rng ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Sample.geometric: p must be in (0,1]";
-  if p = 1.0 then 1
+  if Float.equal p 1.0 then 1
   else
     (* Number of Bernoulli(p) trials up to and including the first success. *)
     let u = 1.0 -. Rng.float rng in
@@ -87,7 +87,7 @@ let geometric rng ~p =
 
 let poisson rng ~lambda =
   if lambda < 0.0 then invalid_arg "Sample.poisson: lambda must be non-negative";
-  if lambda = 0.0 then 0
+  if Float.equal lambda 0.0 then 0
   else if lambda < 30.0 then begin
     (* Knuth's product-of-uniforms method. *)
     let limit = exp (-.lambda) in

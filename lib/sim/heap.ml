@@ -60,6 +60,8 @@ let debug_validate t =
   for i = 1 to t.length - 1 do
     let parent = (i - 1) / 2 in
     if t.compare t.data.(parent) t.data.(i) > 0 then
+      (* Sanitizer-only sweep (FTR_CHECK): the format literal allocation
+         never runs on the hot path. ftr-lint: disable T4 *)
       Ftr_debug.Debug.failf "Heap: order violated between slot %d and its parent %d" i parent
   done
 

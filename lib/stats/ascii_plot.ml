@@ -20,7 +20,7 @@ let render ?(width = 64) ?(height = 20) ?(x_log = false) ?(y_log = false) ?(x_la
       (fun s -> List.filter (valid_point ~x_log ~y_log) s.points)
       series_list
   in
-  if points = [] then "(no plottable points)\n"
+  if List.is_empty points then "(no plottable points)\n"
   else begin
     let xs = List.map (fun (x, _) -> transform ~log:x_log x) points in
     let ys = List.map (fun (_, y) -> transform ~log:y_log y) points in

@@ -62,10 +62,10 @@ let ks_two_sample xs ys =
      a zero gap. *)
   while !i < na && !j < nb do
     let v = Float.min a.(!i) b.(!j) in
-    while !i < na && a.(!i) = v do
+    while !i < na && Float.equal a.(!i) v do
       incr i
     done;
-    while !j < nb && b.(!j) = v do
+    while !j < nb && Float.equal b.(!j) v do
       incr j
     done;
     let fa = float_of_int !i /. float_of_int na in

@@ -15,10 +15,10 @@ let fit ~xs ~ys =
     sxy := !sxy +. (dx *. dy);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0.0 then invalid_arg "Linreg.fit: xs are constant";
+  if Float.equal !sxx 0.0 then invalid_arg "Linreg.fit: xs are constant";
   let slope = !sxy /. !sxx in
   let intercept = mean_y -. (slope *. mean_x) in
-  let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  let r2 = if Float.equal !syy 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
   { slope; intercept; r2 }
 
 let predict f x = f.intercept +. (f.slope *. x)

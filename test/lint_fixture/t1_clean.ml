@@ -1,0 +1,12 @@
+(* T1-negative: the same shape as t1_race.ml, but the shared state is an
+   [Atomic.t] — the sanctioned seam — so the typed stage stays quiet. *)
+
+let counter = Atomic.make 0
+
+let bump () = Atomic.incr counter
+
+let job i =
+  bump ();
+  i
+
+let run n = Ftr_exec.Pool.map ~count:n job

@@ -1,0 +1,12 @@
+(* T2 fixtures. [jitter] is a direct nondeterminism source — that much
+   the syntactic R1 also sees, so T2 leaves it alone. [sample] is the
+   typed stage's quarry: transitively nondeterministic through the call
+   graph. [draw]/[sample_det] use the seeded generator and stay clean. *)
+
+let jitter () = Random.int 1000
+
+let sample x = x + jitter ()
+
+let draw rng = Ftr_prng.Rng.int rng 10
+
+let sample_det rng x = x + draw rng

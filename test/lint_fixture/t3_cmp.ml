@@ -1,0 +1,9 @@
+(* T3 fixtures: polymorphic [=] instantiated at a float-carrying record
+   (positive — structural float comparison) versus an int-instantiated
+   [=] (negative — immediate, safe). *)
+
+type pt = { x : float; y : float }
+
+let close (a : pt) (b : pt) = a = b
+
+let same_int (a : int) (b : int) = a = b

@@ -1,0 +1,21 @@
+(* ftr-lint: hot -- fixture: opts this module into T4 *)
+
+(* T4 fixtures: a tuple allocated inside a [while] loop of a hot module
+   (positive) and an allocation-free accumulation loop (negative). *)
+
+let sum_pairs n =
+  let acc = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let pair = (!i, !i + 1) in
+    acc := !acc + fst pair + snd pair;
+    incr i
+  done;
+  !acc
+
+let sum n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + i
+  done;
+  !acc
