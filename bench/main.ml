@@ -1168,6 +1168,81 @@ let run_route_throughput () =
   Printf.printf "[route] wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Route throughput under three telemetry settings — everything off, obs
+   on with the recorder muted, and full-fidelity tracing — plus a bounded-
+   retention check: however many routes record, the ring never grows past
+   its capacity. Does not touch BENCH_route.json (that comparison times
+   with obs forced off; see run_route_throughput). *)
+let run_tracing () =
+  let n = 1 lsl 13 in
+  let links = 13 in
+  let messages = if smoke then 2_000 else 20_000 in
+  section
+    (Printf.sprintf
+       "FLIGHT RECORDER — tracing overhead and bounded retention\n\
+        (n=%d, links=%d, %d messages per timing)" n links messages);
+  let obs_was = Ftr_obs.Flag.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Ftr_obs.Flag.set_mode obs_was;
+      Ftr_obs.Tracing.set_recording true;
+      Ftr_obs.Tracing.force_full false;
+      Ftr_obs.Tracing.reset ())
+  @@ fun () ->
+  let rng = Rng.of_int (seed + 79) in
+  let net = Network.build_ideal ~n ~links (Rng.split rng) in
+  let mask = Ftr_core.Failure.random_node_fraction (Rng.split rng) ~n ~fraction:0.3 in
+  let failures = Ftr_core.Failure.of_node_mask mask in
+  let alive = Ftr_graph.Bitset.get mask in
+  let scratch = Route.scratch net in
+  let time () =
+    let pair_rng = Rng.of_int (seed + 80) in
+    let live () =
+      let rec go () =
+        let v = Rng.int pair_rng n in
+        if alive v then v else go ()
+      in
+      go ()
+    in
+    let hops = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to messages do
+      let src = live () and dst = live () in
+      hops :=
+        !hops
+        + Route.hops
+            (Route.route ~failures
+               ~strategy:(Route.Backtrack { history = 5 })
+               ~rng:pair_rng ~scratch net ~src ~dst)
+    done;
+    float_of_int !hops /. (Unix.gettimeofday () -. t0)
+  in
+  Ftr_obs.Flag.set_mode false;
+  let off_hps = time () in
+  Ftr_obs.Flag.set_mode true;
+  Ftr_obs.Tracing.reset ();
+  Ftr_obs.Tracing.set_recording false;
+  let muted_hps = time () in
+  Ftr_obs.Tracing.set_recording true;
+  Ftr_obs.Tracing.set_seed seed;
+  Ftr_obs.Tracing.force_full true;
+  let traced_hps = time () in
+  Printf.printf "telemetry off:            %12.0f hops/s\n" off_hps;
+  Printf.printf "obs on, recorder muted:   %12.0f hops/s (%.2fx slower than off)\n" muted_hps
+    (off_hps /. muted_hps);
+  Printf.printf "full-fidelity tracing:    %12.0f hops/s (%.2fx slower than off)\n%!" traced_hps
+    (off_hps /. traced_hps);
+  Printf.printf "retained %d / pinned %d traces after %d recorded routes\n%!"
+    (Ftr_obs.Tracing.retained_count ())
+    (Ftr_obs.Tracing.pinned_count ())
+    (Ftr_obs.Tracing.completed ());
+  if Ftr_obs.Tracing.retained_count () > !Ftr_obs.Tracing.ring_capacity then
+    failwith "flight recorder ring exceeded its capacity"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1261,6 +1336,7 @@ let () =
   run_section "bench.figure7" run_figure7;
   run_section "bench.table1" run_table1;
   run_section "bench.route" run_route_throughput;
+  run_section "bench.tracing" run_tracing;
   run_section "bench.exec" run_exec;
   run_section "bench.lower_bound" run_lower_bound_machinery;
   run_section "bench.ablations" run_ablations;

@@ -130,6 +130,136 @@ let route_cmd =
     Term.(
       const run $ n_t 4096 $ links_t $ seed_t $ src_t $ dst_t $ fraction_t $ strategy_t $ json_t)
 
+(* explain *)
+
+let explain_cmd =
+  let run n links seed fraction strategy route_ix jobs json chrome_path =
+    if route_ix < 0 then begin
+      Printf.eprintf "p2psim explain: --route must be non-negative\n";
+      exit 2
+    end;
+    let links = resolve_links n links in
+    let strategy = strategy_of_string strategy in
+    (* Telemetry and the flight recorder forced on, from a clean slate.
+       Trace identity derives from (seed, route index) — no clocks, no
+       worker identity — so the rendered trace is byte-identical on
+       re-runs and across --jobs counts. *)
+    Ftr_obs.Flag.set_mode true;
+    Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
+    Ftr_obs.Span.reset ();
+    Ftr_obs.Events.reset ();
+    Ftr_obs.Tracing.reset ();
+    Ftr_obs.Tracing.set_seed seed;
+    Ftr_obs.Tracing.force_full true;
+    let rng = Rng.of_int seed in
+    let net = Network.build_ideal ~n ~links rng in
+    let failures, alive =
+      if fraction > 0.0 then begin
+        let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction in
+        (Ftr_core.Failure.of_node_mask mask, fun v -> Ftr_graph.Bitset.get mask v)
+      end
+      else (Ftr_core.Failure.none, fun _ -> true)
+    in
+    (* Route [i]'s endpoints and recovery randomness are a pure function
+       of (seed, i) through the sweep derivation scheme (Seed.rng_for),
+       so route K is the same route whether the preceding routes replayed
+       on one worker domain or four. *)
+    let route_one index =
+      let rng = Ftr_exec.Seed.rng_for ~seed ~index in
+      let rec pick tries =
+        if tries > 100_000 then
+          failwith "explain: found no live endpoint pair; lower --fail or change --seed"
+        else begin
+          let src = Rng.int rng n and dst = Rng.int rng n in
+          if src <> dst && alive src && alive dst then (src, dst) else pick (tries + 1)
+        end
+      in
+      let src, dst = pick 0 in
+      (src, dst, Route.route ~failures ~strategy ~rng net ~src ~dst)
+    in
+    (* Routes 0..K-1 replay with recording off: worker domains suppress
+       telemetry anyway, and the coordinator must match them so the route
+       under the microscope is the only trace in the ring wherever the
+       warmups ran. *)
+    Ftr_obs.Tracing.set_recording false;
+    let warm = Ftr_exec.Pool.map ?jobs ~count:route_ix (fun i -> route_one i) in
+    let warm_delivered =
+      Array.fold_left (fun acc (_, _, o) -> if Route.delivered o then acc + 1 else acc) 0 warm
+    in
+    Ftr_obs.Tracing.set_recording true;
+    Ftr_obs.Tracing.set_next_index route_ix;
+    let src, dst, _outcome = route_one route_ix in
+    match Ftr_obs.Tracing.latest () with
+    | None ->
+        Printf.eprintf "p2psim explain: no trace was recorded\n";
+        exit 1
+    | Some tr ->
+        (match chrome_path with
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Ftr_obs.Tracing.chrome_trace_string ~traces:[ tr ] ());
+                output_char oc '\n')
+        | None -> ());
+        if json then print_endline (Ftr_obs.Json.to_string (Ftr_obs.Tracing.to_json tr))
+        else begin
+          if route_ix > 0 then
+            Printf.printf "warmup: routes 0..%d replayed untraced, %d delivered, %d failed\n"
+              (route_ix - 1) warm_delivered (route_ix - warm_delivered);
+          Printf.printf "route #%d: %d -> %d under %.0f%% node failures\n" route_ix src dst
+            (100.0 *. fraction);
+          print_string (Ftr_obs.Tracing.render tr)
+        end
+  in
+  let fraction_t =
+    Arg.(
+      value & opt float 0.3
+      & info [ "fail" ] ~docv:"P" ~doc:"Fraction of nodes to fail before routing.")
+  in
+  let strategy_t =
+    Arg.(
+      value & opt string "backtrack"
+      & info [ "strategy" ] ~docv:"S" ~doc:"terminate | reroute | backtrack.")
+  in
+  let route_t =
+    Arg.(
+      value & opt int 0
+      & info [ "route" ] ~docv:"K"
+          ~doc:
+            "Route index to explain: routes 0..K-1 replay untraced, then route K runs with \
+             full-fidelity tracing.")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Worker domains for the warmup replay (never changes the output).")
+  in
+  let chrome_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:"Also write the trace as Chrome trace-event JSON (chrome://tracing, Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Re-run one route with the flight recorder forced on and print why it went the way \
+             it did"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Replays a seeded routing workload up to route $(b,K), then routes pair K with \
+              full-fidelity tracing: every candidate neighbour scanned, its distance, the \
+              verdict that excluded it (dead link, dead node, already tried, not closer), the \
+              chosen edges, and every backtrack or reroute. Output is deterministic: the same \
+              seed prints the same bytes whatever $(b,--jobs) is.";
+         ])
+    Term.(
+      const run $ n_t 4096 $ links_t $ seed_t $ fraction_t $ strategy_t $ route_t $ jobs_t
+      $ json_t $ chrome_t)
+
 (* figure5 *)
 
 let figure5_cmd =
@@ -423,7 +553,7 @@ let churn_cmd =
 (* report *)
 
 let report_cmd =
-  let run n links seed json prometheus events_path selfcheck =
+  let run n links seed json prometheus events_path traces selfcheck =
     (* The telemetry layer is the point of this subcommand: force it on
        regardless of FTR_OBS and start from clean registries so the
        snapshot reflects exactly the workload below. *)
@@ -431,6 +561,8 @@ let report_cmd =
     Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
     Ftr_obs.Span.reset ();
     Ftr_obs.Events.reset ();
+    Ftr_obs.Tracing.reset ();
+    Ftr_obs.Tracing.set_seed seed;
     let links = resolve_links n links in
     let (), jsonl =
       Ftr_obs.Events.with_buffer @@ fun () ->
@@ -512,16 +644,82 @@ let report_cmd =
       (match Ftr_obs.Span.find "engine.run" with
       | Some s when s.Ftr_obs.Span.count > 0 -> ()
       | Some _ | None -> fail "no engine.run span was timed");
+      (* Flight recorder: traces were recorded, memory stayed bounded
+         (ring, pins and per-trace step caps), and the Chrome export
+         parses as a JSON object. *)
+      let ring_cap = !Ftr_obs.Tracing.ring_capacity
+      and pin_cap = !Ftr_obs.Tracing.pin_capacity
+      and step_cap = !Ftr_obs.Tracing.max_steps in
+      if Ftr_obs.Tracing.completed () = 0 then fail "flight recorder completed no traces";
+      if Ftr_obs.Tracing.retained_count () > ring_cap then
+        fail "flight recorder ring holds %d traces, past its capacity %d"
+          (Ftr_obs.Tracing.retained_count ()) ring_cap;
+      if Ftr_obs.Tracing.pinned_count () > pin_cap then
+        fail "flight recorder pinned %d traces, past its capacity %d"
+          (Ftr_obs.Tracing.pinned_count ()) pin_cap;
+      if Ftr_obs.Tracing.completed () > ring_cap && Ftr_obs.Tracing.evicted () = 0 then
+        fail "ring overflow recorded no evictions";
+      List.iter
+        (fun tr ->
+          if Ftr_obs.Tracing.step_count tr > step_cap then
+            fail "trace %s holds %d steps, past the cap %d" (Ftr_obs.Tracing.id_hex tr)
+              (Ftr_obs.Tracing.step_count tr) step_cap)
+        (Ftr_obs.Tracing.retained_traces () @ Ftr_obs.Tracing.pinned_traces ());
+      (match Ftr_obs.Json.parse_opt (Ftr_obs.Tracing.chrome_trace_string ()) with
+      | Some (Ftr_obs.Json.Obj fields) ->
+          if not (List.mem_assoc "traceEvents" fields) then
+            fail "chrome trace export lacks a traceEvents field"
+      | Some _ | None -> fail "chrome trace export did not parse as a JSON object");
+      (* Zero overhead when off: with FTR_OBS disabled, a long scratch
+         route must stay allocation-free — the same minor-words budget
+         the CSR tests enforce. *)
+      Ftr_obs.Flag.set_mode false;
+      let line = Network.build_ideal ~n:4096 ~links:0 (Rng.of_int seed) in
+      let scratch = Route.scratch line in
+      ignore (Route.route ~scratch line ~src:0 ~dst:1);
+      let before = Gc.minor_words () in
+      ignore (Route.route ~scratch line ~src:0 ~dst:4095);
+      let delta = Gc.minor_words () -. before in
+      Ftr_obs.Flag.set_mode true;
+      if delta > 512.0 then
+        fail "a 4095-hop route with telemetry off allocated %.0f minor words" delta;
       match !problems with
       | [] -> print_endline "report selfcheck passed"
       | ps ->
           List.iter (Printf.eprintf "report selfcheck: %s\n") (List.rev ps);
           exit 1
     end
+    else if json && traces then
+      (* Flight-recorder focus: the retained ring and the pinned failures
+         as structured traces, ready for jq or the Chrome converter. *)
+      print_endline
+        (Ftr_obs.Json.to_string
+           (Ftr_obs.Json.Obj
+              [
+                ( "traces",
+                  Ftr_obs.Json.List
+                    (List.map Ftr_obs.Tracing.to_json (Ftr_obs.Tracing.retained_traces ())) );
+                ( "pinned",
+                  Ftr_obs.Json.List
+                    (List.map Ftr_obs.Tracing.to_json (Ftr_obs.Tracing.pinned_traces ())) );
+              ]))
     else if json then print_endline (Ftr_obs.Json.to_string (Ftr_obs.Export.json_snapshot ()))
     else if prometheus then print_string (Ftr_obs.Export.prometheus ())
     else begin
       print_string (Ftr_obs.Export.text_report ());
+      if traces then begin
+        Printf.printf
+          "\nflight recorder: %d routes traced, %d retained, %d pinned failures, %d evicted\n"
+          (Ftr_obs.Tracing.completed ())
+          (Ftr_obs.Tracing.retained_count ())
+          (Ftr_obs.Tracing.pinned_count ())
+          (Ftr_obs.Tracing.evicted ());
+        List.iter
+          (fun tr ->
+            print_newline ();
+            print_string (Ftr_obs.Tracing.render tr))
+          (Ftr_obs.Tracing.pinned_traces ())
+      end;
       Printf.printf "\nevents: %d emitted, %d suppressed%s\n" (Ftr_obs.Events.emitted ())
         (Ftr_obs.Events.suppressed ())
         (match events_path with Some p -> Printf.sprintf " (written to %s)" p | None -> "")
@@ -538,20 +736,32 @@ let report_cmd =
       & opt (some string) None
       & info [ "events" ] ~docv:"PATH" ~doc:"Write the structured JSONL event stream to PATH.")
   in
+  let traces_t =
+    Arg.(
+      value & flag
+      & info [ "traces" ]
+          ~doc:
+            "Also print the flight recorder: retained/pinned counts and the full hop tree of \
+             every pinned (failed) route. With $(b,--json), emit the traces as structured \
+             JSON instead of the metrics snapshot.")
+  in
   let selfcheck_t =
     Arg.(
       value & flag
       & info [ "selfcheck" ]
           ~doc:
             "Validate the snapshot instead of printing it: every event line parses as a JSON \
-             object, the registry is non-empty, route_hops has observations and an engine.run \
-             span was timed. Exit 1 on any violation.")
+             object, the registry is non-empty, route_hops has observations, an engine.run \
+             span was timed, the flight recorder stayed within its ring/pin/step bounds, the \
+             Chrome export parses, and a telemetry-off route allocates nothing. Exit 1 on any \
+             violation.")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Run a representative workload with telemetry forced on and print the snapshot")
     Term.(
-      const run $ n_t 1024 $ links_t $ seed_t $ json_t $ prometheus_t $ events_t $ selfcheck_t)
+      const run $ n_t 1024 $ links_t $ seed_t $ json_t $ prometheus_t $ events_t $ traces_t
+      $ selfcheck_t)
 
 (* check *)
 
@@ -992,6 +1202,7 @@ let () =
        (Cmd.group info
           [
             route_cmd;
+            explain_cmd;
             figure5_cmd;
             figure6_cmd;
             figure7_cmd;

@@ -90,6 +90,14 @@ let make ?node_alive ?link_alive () =
     link_view = (match link_alive with None -> L_all | Some f -> L_pred f);
   }
 
+(* Constant-string names of the resolved views, for trace headers and
+   report lines; allocation-free by construction. *)
+let node_view_label t =
+  match t.node_view with N_all -> "all-alive" | N_bits _ -> "bitset" | N_pred _ -> "predicate"
+
+let link_view_label t =
+  match t.link_view with L_all -> "all-alive" | L_mask _ -> "mask" | L_pred _ -> "predicate"
+
 let node_alive_bits t = match t.node_view with N_bits b -> Some b | N_all | N_pred _ -> None
 
 let node_all_alive t = match t.node_view with N_all -> true | N_bits _ | N_pred _ -> false

@@ -73,3 +73,11 @@ val link_alive_mask : t -> link_mask option
 
 val link_all_alive : t -> bool
 (** Whether the link view is statically "everything alive". *)
+
+val node_view_label : t -> string
+(** Stable name of the resolved node view — ["all-alive"], ["bitset"] or
+    ["predicate"] — as printed in flight-recorder trace headers. *)
+
+val link_view_label : t -> string
+(** Stable name of the resolved link view — ["all-alive"], ["mask"] or
+    ["predicate"]. *)

@@ -76,7 +76,7 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
               !chosen
         in
         if victim >= 0 then begin
-          if Ftr_obs.Flag.enabled () then
+          if Ftr_obs.Flag.enabled () then begin
             Ftr_obs.Metrics.incr
               ~labels:
                 [
@@ -84,6 +84,17 @@ let build ?(exponent = 1.0) ?(replacement = Proportional) ?(arrival = Random_ord
                     match replacement with Proportional -> "proportional" | Oldest -> "oldest" );
                 ]
               "heuristic_redirects_total";
+            (* Construction-phase forensics for the flight-recorder stream:
+               which link the Section 5 redirect rule rewired, and what it
+               evicted. *)
+            Ftr_obs.Events.emit ~kind:"heuristic.redirect"
+              [
+                ("node", Ftr_obs.Json.Int u);
+                ("newcomer", Ftr_obs.Json.Int v);
+                ("evicted", Ftr_obs.Json.Int long.(u).(victim));
+                ("slot", Ftr_obs.Json.Int victim);
+              ]
+          end;
           long.(u).(victim) <- v;
           birth.(u).(victim) <- next_tick ()
         end

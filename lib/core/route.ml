@@ -24,6 +24,11 @@ let reason_label = function
   | Hop_limit -> "hop_limit"
   | No_live_reroute_target -> "no_live_reroute_target"
 
+let strategy_label = function
+  | Terminate -> "terminate"
+  | Random_reroute _ -> "random_reroute"
+  | Backtrack _ -> "backtrack"
+
 (* Reusable per-route working state, sized to a network's CSR edge count.
    [stamps] has one slot per CSR edge; slot [offsets.(u) + k] equal to
    [epoch] means "link k of node u was tried during the current route" —
@@ -89,11 +94,25 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
      through the existing [on_hop] seam and the outcome feeds the
      route_hops histogram and stuck-reason counters below. *)
   let obs = Ftr_obs.Flag.enabled () in
+  (* Flight recorder (docs/OBSERVABILITY.md, "Tracing"): [tr] is the
+     shared null sentinel unless FTR_OBS and the recorder are both on, and
+     every recording call below hides behind [tracing] — one immediate
+     bool per check — so the hot loops stay branch-cheap and
+     allocation-free when tracing is off. All trace allocation happens
+     inside [Ftr_obs.Tracing], never in this file's loops. *)
+  let tr = if obs then Ftr_obs.Tracing.begin_route ~src ~dst else Ftr_obs.Tracing.null in
+  let tracing = Ftr_obs.Flag.enabled () && Ftr_obs.Tracing.is_live tr in
+  if tracing then
+    Ftr_obs.Tracing.set_context tr
+      ~nodes:(Failure.node_view_label failures)
+      ~links:(Failure.link_view_label failures)
+      ~strategy:(strategy_label strategy);
   let on_hop =
     if obs then begin
       let hop_no = ref 0 in
       fun v ->
         incr hop_no;
+        if tracing then Ftr_obs.Tracing.hop tr ~node:v;
         Ftr_obs.Events.emit ~kind:"route.hop"
           [
             ("src", Ftr_obs.Json.Int src);
@@ -180,6 +199,28 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     let d = if d < 0 then -d else d in
     if circle then min d (lsize - d) else d
   in
+  (* Flight-recorder verdict for a candidate the liveness conjunction
+     rejected: re-run the conjuncts one by one to name the first that
+     failed. Reached only under [tracing], so the recomputation (and the
+     record's allocation, inside [Ftr_obs.Tracing]) costs nothing when the
+     recorder is off. *)
+  let record_excluded ~cur ~k ~v ~dist =
+    let base = offsets.(cur) in
+    let verdict =
+      if not (link_all || Failure.link_alive failures ~src:cur ~idx:k) then
+        Ftr_obs.Tracing.Dead_link
+      else if
+        not
+          (match node_bits with
+          | Some b -> Bitset.unsafe_get b v
+          | None -> node_all || Failure.node_alive failures v)
+      then Ftr_obs.Tracing.Dead_node
+      else if epoch <> 0 && Array.unsafe_get stamps (base + k) = epoch then
+        Ftr_obs.Tracing.Already_tried
+      else Ftr_obs.Tracing.Not_closer
+    in
+    Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist verdict
+  in
   let best_neighbor ~mode ~cur ~dst =
     let dst_pos = Array.unsafe_get positions dst in
     let cur_dist =
@@ -241,8 +282,10 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
             best_dist := d;
             scanning := false
           end
-          else if take_left then decr l
-          else incr r
+          else begin
+            if tracing then record_excluded ~cur ~k ~v ~dist:d;
+            if take_left then decr l else incr r
+          end
         end
       done
     end
@@ -266,11 +309,27 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
             && (two_sided || Network.one_sided_admissible net ~cur ~v ~dst)
           in
           if admissible then begin
+            (* A superseded provisional best was examined and not taken:
+               record it so the trace names every also-ran. *)
+            if tracing && !best >= 0 then
+              Ftr_obs.Tracing.candidate tr ~cur ~cand:!best ~dist:!best_dist
+                Ftr_obs.Tracing.Not_best;
             best := v;
             best_idx := k;
             best_dist := v_dist
           end
+          else if tracing then
+            Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist:v_dist
+              (if v_dist >= limit then Ftr_obs.Tracing.Not_closer
+               else if not (two_sided || Network.one_sided_admissible net ~cur ~v ~dst) then
+                 Ftr_obs.Tracing.Overshoot
+               else Ftr_obs.Tracing.Not_best)
         end
+        else if tracing then
+          record_excluded ~cur ~k ~v
+            ~dist:
+              (if two_sided then dist_to ~dst_pos v
+               else Network.routing_distance net ~side:rd ~src:v ~dst)
       done;
     if !best < 0 then false
     else begin
@@ -292,6 +351,10 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
       if best_neighbor ~mode:`Strict ~cur:!cur ~dst:target then begin
         let v = !found_node in
         debug_check_strict_hop net ~side ~cur:!cur ~v ~dst:target;
+        if tracing then
+          Ftr_obs.Tracing.candidate tr ~cur:!cur ~cand:v
+            ~dist:(Network.routing_distance net ~side:rd ~src:v ~dst:target)
+            Ftr_obs.Tracing.Chosen;
         record_tried !cur !found_idx;
         cur := v;
         incr h;
@@ -334,6 +397,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
           match random_live_node () with
           | None -> Failed { hops = h; stuck_at = terminus; reason = No_live_reroute_target }
           | Some r ->
+              if tracing then Ftr_obs.Tracing.reroute tr ~from_node:terminus ~target:r;
               (* Carry the message to the random intermediate (or as close
                  as greedy gets), then resume toward the destination. *)
               let mid, h, out_of_budget = greedy_leg ~start:terminus ~target:r ~hops:h in
@@ -372,6 +436,10 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         else if best_neighbor ~mode:`Strict ~cur ~dst then begin
           let v = !found_node in
           debug_check_strict_hop net ~side ~cur ~v ~dst;
+          if tracing then
+            Ftr_obs.Tracing.candidate tr ~cur ~cand:v
+              ~dist:(Network.routing_distance net ~side:rd ~src:v ~dst)
+              Ftr_obs.Tracing.Chosen;
           record_tried cur !found_idx;
           on_hop v;
           push cur;
@@ -384,6 +452,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
           let y = pop () in
           (* Travelling back to the previous node costs a hop. *)
           if obs then Ftr_obs.Metrics.incr "route_backtracks_total";
+          if tracing then Ftr_obs.Tracing.backtrack tr ~from_node:stuck ~to_node:y;
           let h = h + 1 in
           on_hop y;
           if h >= max_hops then Failed { hops = h; stuck_at = y; reason = Hop_limit }
@@ -396,6 +465,10 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
             best_neighbor ~mode:`Any ~cur:y ~dst
           then begin
             let v = !found_node in
+            if tracing then
+              Ftr_obs.Tracing.candidate tr ~cur:y ~cand:v
+                ~dist:(Network.routing_distance net ~side:rd ~src:v ~dst)
+                Ftr_obs.Tracing.Chosen;
             record_tried y !found_idx;
             on_hop v;
             push y;
@@ -414,6 +487,14 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     | Failed { hops = h; reason; _ } ->
         Ftr_obs.Metrics.incr ~labels:[ ("reason", reason_label reason) ] "route_stuck_total";
         Ftr_obs.Metrics.observe_int "route_hops" h);
+    if tracing then begin
+      match outcome with
+      | Delivered { hops = h } ->
+          Ftr_obs.Tracing.finish tr ~delivered:true ~hops:h ~stuck_at:(-1) ~reason:""
+      | Failed { hops = h; stuck_at; reason } ->
+          Ftr_obs.Tracing.finish tr ~delivered:false ~hops:h ~stuck_at
+            ~reason:(reason_label reason)
+    end;
     Ftr_obs.Events.emit ~kind:"route.done"
       [
         ("src", Ftr_obs.Json.Int src);

@@ -46,6 +46,11 @@ val reason_label : reason -> string
     labels (e.g. route_stuck_total{reason="no_live_neighbor"}) and the
     [--json] CLI outputs. *)
 
+val strategy_label : strategy -> string
+(** Stable snake_case name of a recovery strategy (["terminate"],
+    ["random_reroute"], ["backtrack"]), as printed in flight-recorder
+    trace headers and CLI output. *)
+
 val hops : outcome -> int
 (** Hops consumed, delivered or not (backtracking steps count). *)
 

@@ -11,9 +11,39 @@
 
 type sink = To_buffer of Buffer.t | To_channel of out_channel
 
-let sink : sink option ref = ref None
+(* Destination resolution, in precedence order: a programmatic [set_sink]
+   (including [set_sink None] — "explicitly nowhere") always wins; absent
+   one, FTR_OBS_SINK=<path> names a file the JSONL stream (route events,
+   trace replays, everything) is appended to. The env sink is opened
+   lazily on the first emission that needs it, so a run that never emits —
+   FTR_OBS off, or telemetry on but eventless — never creates the file.
+   FTR_OBS remains the master gate either way: with the flag off no sink,
+   env or programmatic, sees a single byte. *)
+let explicit : sink option ref = ref None
 
-let set_sink s = sink := s
+let explicit_set = ref false
+
+let env_sink =
+  lazy
+    (match Sys.getenv_opt "FTR_OBS_SINK" with
+    | Some path when String.length path > 0 ->
+        let oc = open_out path in
+        at_exit (fun () -> try flush oc with Sys_error _ -> ());
+        Some (To_channel oc)
+    | Some _ | None -> None)
+
+let current_sink () = if !explicit_set then !explicit else Lazy.force env_sink
+
+let set_sink s =
+  explicit := s;
+  explicit_set := true
+
+(* Push buffered bytes through a channel sink (the env-redirect file is
+   otherwise only flushed at exit); a no-op for buffers and no-sink. *)
+let flush_sink () =
+  match current_sink () with
+  | Some (To_channel oc) -> flush oc
+  | Some (To_buffer _) | None -> ()
 
 let every = ref 1
 
@@ -39,7 +69,7 @@ let reset () =
 
 let emit ?time ~kind fields =
   if Flag.enabled () then
-    match !sink with
+    match current_sink () with
     | None -> ()
     | Some s ->
         let c =
@@ -72,8 +102,12 @@ let emit ?time ~kind fields =
    previous sink; returns [f]'s result and the captured JSONL. *)
 let with_buffer f =
   let buf = Buffer.create 1024 in
-  let saved = !sink in
-  sink := Some (To_buffer buf);
-  let finally () = sink := saved in
+  let saved = !explicit and saved_set = !explicit_set in
+  explicit := Some (To_buffer buf);
+  explicit_set := true;
+  let finally () =
+    explicit := saved;
+    explicit_set := saved_set
+  in
   let v = Fun.protect ~finally f in
   (v, Buffer.contents buf)

@@ -189,9 +189,13 @@ let snapshot ?(registry = default) () =
 let size ?(registry = default) () = Hashtbl.length registry.table
 
 (* Quantile estimate from a log-scale histogram: find the bucket holding
-   the target rank, then interpolate within it — log-linearly for the
-   power-of-two buckets, linearly for bucket 0 — and clamp to the observed
-   [min, max] so the estimate never leaves the data's range. *)
+   the target rank, then interpolate linearly within it (the
+   Prometheus-style assumption that observations fill a bucket uniformly),
+   and clamp to the observed [min, max] so the estimate never leaves the
+   data's range. Linear — not log-linear — within-bucket interpolation
+   keeps percentiles continuous in the target rank without biasing them
+   toward the bucket's lower edge, and makes the expected values exact
+   enough to assert in tests. *)
 let histogram_quantile v q =
   if q < 0.0 || q > 1.0 then invalid_arg "Metrics.histogram_quantile: q must be in [0,1]";
   if v.h_count = 0 then nan
@@ -205,8 +209,7 @@ let histogram_quantile v q =
             let lo = if ub <= 1.0 then 0.0 else ub /. 2.0 in
             let frac = if c = 0 then 1.0 else (target -. cum) /. float_of_int c in
             let frac = Float.max 0.0 (Float.min 1.0 frac) in
-            if lo <= 0.0 then lo +. (frac *. (ub -. lo))
-            else lo *. Float.pow (ub /. lo) frac
+            lo +. (frac *. (ub -. lo))
           end
           else scan cum' rest
     in

@@ -31,6 +31,9 @@ type pending_request = {
   callback : (owner:int -> hops:int -> unit) option;
   user : bool; (* user lookups and protocol/maintenance traffic are
                   accounted separately *)
+  trace : Ftr_obs.Tracing.t;
+      (* flight-recorder trace for user lookups when the recorder is on;
+         the shared null sentinel otherwise *)
 }
 
 type t = {
@@ -203,18 +206,30 @@ let consider_redirect t node ~newcomer =
 (* Greedy lookup with failure detection                                *)
 (* ------------------------------------------------------------------ *)
 
-let fail_request t request =
+(* The flight-recorder trace attached to a pending request, for the hop
+   and candidate records of the steps below; null when tracing is off or
+   the request is untraced maintenance traffic. *)
+let request_trace t request =
   match Hashtbl.find_opt t.pending request with
-  | Some { user; _ } ->
+  | Some { trace; _ } -> trace
+  | None -> Ftr_obs.Tracing.null
+
+let fail_request t request ~hops ~stuck_at ~reason =
+  match Hashtbl.find_opt t.pending request with
+  | Some { user; trace; _ } ->
       Hashtbl.remove t.pending request;
+      if Ftr_obs.Flag.enabled () && Ftr_obs.Tracing.is_live trace then
+        Ftr_obs.Tracing.finish trace ~delivered:false ~hops ~stuck_at ~reason;
       if user then t.stats.lookups_failed <- t.stats.lookups_failed + 1
       else t.stats.maintenance_failed <- t.stats.maintenance_failed + 1
   | None -> ()
 
 let resolve_request t ~owner ~request ~hops =
   match Hashtbl.find_opt t.pending request with
-  | Some { callback; user } ->
+  | Some { callback; user; trace } ->
       Hashtbl.remove t.pending request;
+      if Ftr_obs.Flag.enabled () && Ftr_obs.Tracing.is_live trace then
+        Ftr_obs.Tracing.finish trace ~delivered:true ~hops ~stuck_at:(-1) ~reason:"";
       if user then begin
         t.stats.lookups_ok <- t.stats.lookups_ok + 1;
         t.stats.hops_on_success <- t.stats.hops_on_success + hops
@@ -231,9 +246,17 @@ let rec lookup_step t ~at ~target ~request ~hops =
       (* The carrier died with the message in hand. *)
       Trace.debugf t.trace ~time:(Engine.now t.engine) "lookup %d lost at dead node %d" request
         at;
-      fail_request t request
+      fail_request t request ~hops ~stuck_at:at ~reason:"carrier_died"
   | Some node ->
-      if hops >= t.ttl then fail_request t request
+      (* Flight recorder: every arrival at a decision point — including
+         re-entries after a dead-link repair — is a hop record carrying
+         the engine's sim time (via [Tracing.note_time] in the event
+         dispatcher). *)
+      if Ftr_obs.Flag.enabled () then begin
+        let tr = request_trace t request in
+        if Ftr_obs.Tracing.is_live tr then Ftr_obs.Tracing.hop tr ~node:at
+      end;
+      if hops >= t.ttl then fail_request t request ~hops ~stuck_at:node.pos ~reason:"ttl_exceeded"
       else begin
         (* Strictly closer neighbours advance the lookup; an equidistant
            neighbour at a smaller position also does, so a point midway
@@ -256,6 +279,27 @@ let rec lookup_step t ~at ~target ~request ~hops =
               best_d := d
             end)
           (neighbors_of node);
+        (* Flight recorder, full-fidelity lane: name every neighbour the
+           min-scan rejected and the candidate it kept. Dead picks are
+           recorded by [try_candidate] when the probe discovers them. *)
+        if Ftr_obs.Flag.enabled () then begin
+          let tr = request_trace t request in
+          if Ftr_obs.Tracing.is_live tr then begin
+            List.iter
+              (fun v ->
+                if v <> !best then begin
+                  let d = abs (v - target) in
+                  Ftr_obs.Tracing.candidate tr ~cur:node.pos ~cand:v ~dist:d
+                    (if d < my_dist || (d = my_dist && v < node.pos) then
+                       Ftr_obs.Tracing.Not_best
+                     else Ftr_obs.Tracing.Not_closer)
+                end)
+              (neighbors_of node);
+            if !best >= 0 then
+              Ftr_obs.Tracing.candidate tr ~cur:node.pos ~cand:!best ~dist:!best_d
+                Ftr_obs.Tracing.Chosen
+          end
+        end;
         if !best < 0 then
           (* No live neighbour closer: this node owns the target's basin. *)
           resolve_request t ~owner:node.pos ~request ~hops
@@ -273,16 +317,30 @@ and try_candidate t node ~v ~target ~request ~hops =
              match live_node t v with
              | Some _ -> lookup_step t ~at:v ~target ~request ~hops:(hops + 1)
              | None ->
+                 record_dead_candidate t ~request ~cur:node.pos ~v ~target;
                  ignore
                    (Engine.schedule_after t.engine ~delay:(Ftr_sim.Latency.sample t.latency t.rng) (fun () ->
                         on_dead_neighbor t node ~dead:v ~target ~request ~hops))))
   | None ->
       (* Probe discovers the neighbour is already dead. *)
       t.stats.probes <- t.stats.probes + 1;
+      record_dead_candidate t ~request ~cur:node.pos ~v ~target;
       on_dead_neighbor t node ~dead:v ~target ~request ~hops
 
+(* The chosen candidate turned out to be dead (probe or in-flight crash):
+   overwrite the optimistic "chosen" verdict with a dead_node record so
+   the trace explains the repair that follows. *)
+and record_dead_candidate t ~request ~cur ~v ~target =
+  if Ftr_obs.Flag.enabled () then begin
+    let tr = request_trace t request in
+    if Ftr_obs.Tracing.is_live tr then
+      Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist:(abs (v - target))
+        Ftr_obs.Tracing.Dead_node
+  end
+
 and on_dead_neighbor t node ~dead ~target ~request ~hops =
-  if not node.alive then fail_request t request
+  if not node.alive then
+    fail_request t request ~hops ~stuck_at:node.pos ~reason:"origin_died"
   else begin
     drop_dead_link t node ~dead;
     lookup_step t ~at:node.pos ~target ~request ~hops
@@ -339,7 +397,20 @@ and regenerate_long_link t node =
 and internal_lookup t ?(user = false) ~from ~target ~callback () =
   let request = t.next_request in
   t.next_request <- request + 1;
-  Hashtbl.replace t.pending request { callback; user };
+  (* Only user lookups are traced: maintenance traffic (link regeneration,
+     join placement) would flood the ring and drown the requests the
+     forensics are for. *)
+  let trace =
+    if Ftr_obs.Flag.enabled () && user then begin
+      let tr = Ftr_obs.Tracing.begin_route ~src:from ~dst:target in
+      if Ftr_obs.Tracing.is_live tr then
+        Ftr_obs.Tracing.set_context tr ~nodes:"overlay" ~links:"overlay"
+          ~strategy:"overlay_lookup";
+      tr
+    end
+    else Ftr_obs.Tracing.null
+  in
+  Hashtbl.replace t.pending request { callback; user; trace };
   if user then t.stats.lookups_issued <- t.stats.lookups_issued + 1
   else t.stats.maintenance_issued <- t.stats.maintenance_issued + 1;
   lookup_step t ~at:from ~target ~request ~hops:0

@@ -69,8 +69,12 @@ let rec step t =
         t.now <- ev.time;
         t.executed <- t.executed + 1;
         (* Telemetry: dispatch count, queue depth and a (sampled) per-event
-           record. One bool load when FTR_OBS is off. *)
+           record; the flight recorder additionally learns the simulation
+           clock so trace steps recorded inside [ev.action] carry sim-time
+           stamps (the Chrome export's timeline). One bool load when
+           FTR_OBS is off. *)
         if Ftr_obs.Flag.enabled () then begin
+          Ftr_obs.Tracing.note_time ev.time;
           Ftr_obs.Metrics.incr "engine_events_total";
           Ftr_obs.Metrics.set_gauge "engine_queue_depth" (float_of_int (pending_events t));
           Ftr_obs.Events.emit ~time:ev.time ~kind:"engine.event"

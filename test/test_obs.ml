@@ -105,6 +105,37 @@ let histogram_property =
              = List.length values
       | _ -> false)
 
+(* Within-bucket linear interpolation makes histogram quantiles exact
+   enough to assert: observations 1,2,3,4 land in log2 buckets
+   (1,1),(2,1),(4,2), so p50 sits at the top of the (1,2] bucket and p99
+   interpolates 98% into (2,4]. The old log-linear rule would give
+   2·2^0.98 ≈ 3.945 for p99 — these checks pin the linear answer. *)
+let quantile_exact_values () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  List.iter (fun v -> Metrics.observe ~registry:r "q" v) [ 1.0; 2.0; 3.0; 4.0 ];
+  match Metrics.snapshot ~registry:r () with
+  | [ { Metrics.item_view = Metrics.Histogram_view h; _ } ] ->
+      Alcotest.(check (float 1e-9)) "p50" 2.0 (Metrics.histogram_quantile h 0.5);
+      Alcotest.(check (float 1e-9)) "p99" 3.96 (Metrics.histogram_quantile h 0.99);
+      Alcotest.(check (float 1e-9)) "p100 is the max" 4.0 (Metrics.histogram_quantile h 1.0);
+      Alcotest.(check (float 1e-9)) "p0 clamps to the min" 1.0 (Metrics.histogram_quantile h 0.0)
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
+let quantile_single_bucket () =
+  let r = Metrics.create () in
+  Flag.with_mode true @@ fun () ->
+  (* Both observations share the (2,4] bucket: the median interpolates
+     halfway up, and low quantiles clamp to the observed minimum. *)
+  List.iter (fun v -> Metrics.observe ~registry:r "q" v) [ 3.0; 4.0 ];
+  match Metrics.snapshot ~registry:r () with
+  | [ { Metrics.item_view = Metrics.Histogram_view h; _ } ] ->
+      Alcotest.(check (float 1e-9)) "p50 fills the bucket uniformly" 3.0
+        (Metrics.histogram_quantile h 0.5);
+      Alcotest.(check (float 1e-9)) "p1 clamps to the min" 3.0
+        (Metrics.histogram_quantile h 0.01)
+  | _ -> Alcotest.fail "expected exactly one histogram"
+
 (* ------------------------------------------------------------------ *)
 (* Span profiler                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -231,6 +262,44 @@ let events_sampling () =
   in
   Alcotest.(check (list int)) "deterministic choice" [ 1; 4; 7 ] kept
 
+(* FTR_OBS_SINK=<path> redirects the JSONL stream to a file when no
+   programmatic sink is installed; [with_buffer] (and any [set_sink])
+   takes precedence while active. Must run before any test that installs
+   a sink via [set_sink], because an explicit installation permanently
+   outranks the env redirect. *)
+let events_env_sink () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sampling ~every:1;
+  let path = Filename.temp_file "ftr_obs_sink" ".jsonl" in
+  Unix.putenv "FTR_OBS_SINK" path;
+  let finally () = Unix.putenv "FTR_OBS_SINK" "" in
+  Fun.protect ~finally @@ fun () ->
+  Events.emit ~kind:"env_redirect" [ ("n", Json.Int 1) ];
+  Events.emit ~kind:"env_redirect" [ ("n", Json.Int 2) ];
+  (* A buffer sink installed mid-stream wins over the env redirect... *)
+  let (), buffered =
+    Events.with_buffer (fun () -> Events.emit ~kind:"env_redirect" [ ("n", Json.Int 3) ])
+  in
+  (* ...and the env sink takes back over once it is gone. *)
+  Events.emit ~kind:"env_redirect" [ ("n", Json.Int 4) ];
+  Events.flush_sink ();
+  let lines =
+    List.filter (fun l -> l <> "") (In_channel.with_open_text path In_channel.input_lines)
+  in
+  Sys.remove path;
+  Alcotest.(check int) "env file got the unbuffered events" 3 (List.length lines);
+  let ns =
+    List.map
+      (fun line ->
+        match Json.member "n" (Json.parse line) with Some (Json.Int i) -> i | _ -> -1)
+      lines
+  in
+  Alcotest.(check (list int)) "buffered event bypassed the file" [ 1; 2; 4 ] ns;
+  match Json.member "n" (Json.parse (String.trim buffered)) with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "with_buffer did not capture the bracketed event"
+
 let events_off_without_sink () =
   Flag.with_mode true @@ fun () ->
   Events.reset ();
@@ -337,6 +406,177 @@ let export_formats () =
     (contains text "fails{reason=\"stuck\"}")
 
 (* ------------------------------------------------------------------ *)
+(* Route flight recorder                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Tracing = Ftr_obs.Tracing
+
+(* Recorder state is global; every test restores the defaults on the way
+   out so later tests (and the default-on contract) see a clean slate. *)
+let with_recorder f =
+  Flag.with_mode true @@ fun () ->
+  Tracing.reset ();
+  Tracing.set_seed 42;
+  Tracing.set_recording true;
+  let finally () =
+    Tracing.set_recording true;
+    Tracing.force_full false;
+    Tracing.set_sampling ~every:1;
+    Tracing.set_capacity ~ring:32 ~pinned:16 ~steps:4096 ();
+    Tracing.reset ()
+  in
+  Fun.protect ~finally f
+
+let tracing_null_noop () =
+  Flag.with_mode false @@ fun () ->
+  Tracing.reset ();
+  let tr = Tracing.begin_route ~src:1 ~dst:2 in
+  Alcotest.(check bool) "not live with the flag off" false (Tracing.is_live tr);
+  Tracing.hop tr ~node:3;
+  Tracing.candidate tr ~cur:1 ~cand:3 ~dist:4 Tracing.Chosen;
+  Tracing.backtrack tr ~from_node:3 ~to_node:1;
+  Tracing.finish tr ~delivered:false ~hops:1 ~stuck_at:3 ~reason:"no_live_neighbor";
+  Alcotest.(check int) "nothing retained" 0 (Tracing.retained_count ());
+  Alcotest.(check int) "nothing completed" 0 (Tracing.completed ());
+  Alcotest.(check int) "null holds no steps" 0 (Tracing.step_count tr)
+
+let tracing_bounds () =
+  with_recorder @@ fun () ->
+  Tracing.force_full true;
+  Tracing.set_capacity ~ring:4 ~pinned:2 ~steps:8 ();
+  for i = 0 to 9 do
+    let tr = Tracing.begin_route ~src:i ~dst:(i + 100) in
+    Alcotest.(check bool) "live while recording" true (Tracing.is_live tr);
+    for h = 1 to 20 do
+      Tracing.hop tr ~node:h
+    done;
+    let delivered = i mod 2 = 0 in
+    Tracing.finish tr ~delivered ~hops:20
+      ~stuck_at:(if delivered then -1 else i)
+      ~reason:(if delivered then "" else "no_live_neighbor")
+  done;
+  Alcotest.(check int) "ring bounded" 4 (Tracing.retained_count ());
+  Alcotest.(check int) "pins bounded" 2 (Tracing.pinned_count ());
+  Alcotest.(check int) "all completions counted" 10 (Tracing.completed ());
+  Alcotest.(check int) "evictions counted" 6 (Tracing.evicted ());
+  List.iter
+    (fun tr ->
+      Alcotest.(check int) "steps capped" 8 (Tracing.step_count tr);
+      Alcotest.(check int) "drops counted" 12 (Tracing.dropped_steps tr))
+    (Tracing.retained_traces ());
+  (* Pins keep only failed routes; the ring keeps the newest of both. *)
+  List.iter
+    (fun tr ->
+      match Json.member "status" (Tracing.to_json tr) with
+      | Some (Json.String "failed") -> ()
+      | _ -> Alcotest.fail "a pinned trace was not a failure")
+    (Tracing.pinned_traces ())
+
+let tracing_ids_and_sampling_deterministic () =
+  with_recorder @@ fun () ->
+  Tracing.set_sampling ~every:3;
+  let fidelity_run () =
+    Tracing.reset ();
+    Tracing.set_seed 7;
+    List.init 24 (fun i ->
+        let tr = Tracing.begin_route ~src:i ~dst:(i + 1) in
+        let id = Tracing.id_hex tr in
+        Tracing.finish tr ~delivered:true ~hops:1 ~stuck_at:(-1) ~reason:"";
+        match Json.member "full" (Tracing.to_json tr) with
+        | Some (Json.Bool full) -> (id, full)
+        | _ -> Alcotest.fail "trace json lacks a full field")
+  in
+  let a = fidelity_run () in
+  let b = fidelity_run () in
+  Alcotest.(check bool) "ids and sampling identical across runs" true (a = b);
+  Alcotest.(check bool) "sampling keeps some traces full" true
+    (List.exists (fun (_, full) -> full) a);
+  Alcotest.(check bool) "sampling thins some traces to hops-only" true
+    (List.exists (fun (_, full) -> not full) a)
+
+(* The explain workflow in miniature: warmup routes replay through the
+   pool with recording off, then route K records at full fidelity. The
+   rendered trace, its Events replay and its Chrome export must be byte-
+   identical whatever the worker count — including the sequential
+   fallback — because trace identity is (seed, index) and workers
+   suppress telemetry. *)
+let trace_bytes ~seed ?jobs () =
+  Flag.with_mode true @@ fun () ->
+  Tracing.reset ();
+  Tracing.set_seed seed;
+  Tracing.set_recording true;
+  Tracing.force_full true;
+  let finally () =
+    Tracing.set_recording true;
+    Tracing.force_full false;
+    Tracing.reset ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let n = 256 in
+  let rng = Rng.of_int seed in
+  let net = Network.build_ideal ~n ~links:4 rng in
+  let mask = Ftr_core.Failure.random_node_fraction rng ~n ~fraction:0.3 in
+  let failures = Ftr_core.Failure.of_node_mask mask in
+  let alive v = Ftr_graph.Bitset.get mask v in
+  let route_one index =
+    let rng = Ftr_exec.Seed.rng_for ~seed ~index in
+    let rec pick () =
+      let src = Rng.int rng n and dst = Rng.int rng n in
+      if src <> dst && alive src && alive dst then (src, dst) else pick ()
+    in
+    let src, dst = pick () in
+    ignore (Route.route ~failures ~strategy:(Route.Backtrack { history = 5 }) ~rng net ~src ~dst)
+  in
+  let (), _ =
+    Events.with_buffer @@ fun () ->
+    Tracing.set_recording false;
+    ignore (Ftr_exec.Pool.map ?jobs ~count:5 (fun i -> route_one i));
+    Tracing.set_recording true;
+    Tracing.set_next_index 5;
+    route_one 5
+  in
+  match Tracing.latest () with
+  | None -> Alcotest.fail "no trace recorded"
+  | Some tr ->
+      Events.reset ();
+      Events.set_sampling ~every:1;
+      let (), jsonl = Events.with_buffer (fun () -> Tracing.emit_events tr) in
+      Tracing.render tr ^ "\x00" ^ jsonl ^ "\x00" ^ Tracing.chrome_trace_string ~traces:[ tr ] ()
+
+let tracing_jobs_invariant =
+  QCheck.Test.make ~name:"trace bytes invariant across jobs and FTR_EXEC_SEQ" ~count:6
+    QCheck.(int_range 0 1_000)
+    (fun seed ->
+      let reference = trace_bytes ~seed ~jobs:1 () in
+      let sequential f =
+        let saved = Sys.getenv_opt "FTR_EXEC_SEQ" in
+        Unix.putenv "FTR_EXEC_SEQ" "1";
+        let finally () = Unix.putenv "FTR_EXEC_SEQ" (Option.value saved ~default:"0") in
+        Fun.protect ~finally f
+      in
+      String.equal reference (trace_bytes ~seed ~jobs:2 ())
+      && String.equal reference (trace_bytes ~seed ~jobs:4 ())
+      && String.equal reference (sequential (fun () -> trace_bytes ~seed ())))
+
+(* With telemetry off entirely, a route across the whole 2^16-node line —
+   65535 hops through the tracing-instrumented router — must stay inside
+   the same minor-words budget the CSR tests enforce: the recorder costs
+   one dead branch per hop, not an allocation. *)
+let tracing_off_allocation_free () =
+  Flag.with_mode false @@ fun () ->
+  let n = 1 lsl 16 in
+  let net = Network.build_ideal ~n ~links:0 (Rng.of_int 5) in
+  let scratch = Route.scratch net in
+  ignore (Route.route ~scratch net ~src:0 ~dst:1);
+  let before = Gc.minor_words () in
+  ignore (Route.route ~scratch net ~src:0 ~dst:(n - 1));
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "a %d-hop route with tracing off allocates nothing (%.0f minor words)"
+       (n - 1) delta)
+    true (delta < 512.0)
+
+(* ------------------------------------------------------------------ *)
 (* Trace drop accounting and JSON (satellite)                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -431,6 +671,8 @@ let () =
           quick "kind clash rejected" metrics_kind_clash;
           quick "histogram views" metrics_histogram;
           quick "reset" metrics_reset;
+          quick "quantile exact values" quantile_exact_values;
+          quick "quantile single bucket" quantile_single_bucket;
           QCheck_alcotest.to_alcotest histogram_property;
         ] );
       ( "span",
@@ -444,10 +686,21 @@ let () =
         [
           quick "jsonl well-formed" events_jsonl;
           quick "deterministic sampling" events_sampling;
+          (* must precede any set_sink: an explicit installation
+             permanently outranks the FTR_OBS_SINK redirect *)
+          quick "env sink redirect and precedence" events_env_sink;
           quick "silent without sink" events_off_without_sink;
         ] );
       ( "overhead",
         [ quick "disabled paths do not allocate or record" disabled_overhead ] );
+      ( "tracing",
+        [
+          quick "null trace is a no-op" tracing_null_noop;
+          quick "ring, pin and step bounds" tracing_bounds;
+          quick "ids and sampling deterministic" tracing_ids_and_sampling_deterministic;
+          QCheck_alcotest.to_alcotest tracing_jobs_invariant;
+          quick "tracing off allocates nothing" tracing_off_allocation_free;
+        ] );
       ( "integration",
         [
           quick "route feeds metrics, spans and events" route_instrumentation;
