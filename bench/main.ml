@@ -951,6 +951,95 @@ let run_exec () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Service: lookups/s through the actor scheduler                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The message-passing service under a churny workload, jobs=1 against
+   the recommended worker count on identical arguments. The scheduler
+   guarantees a byte-identical transcript (checked structurally here,
+   and byte-for-byte by @serve), so the only difference is the wall
+   clock; the numbers land in BENCH_serve.json for machines to read. *)
+let write_serve_report report =
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Ftr_obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[serve] wrote %s\n%!" path
+
+let run_serve () =
+  let module D = Ftr_svc.Driver in
+  let host = Domain.recommended_domain_count () in
+  if host <= 1 then begin
+    section
+      (Printf.sprintf
+         "SERVE — skipped: host recommends %d domain(s); the jobs comparison needs more than one"
+         host);
+    write_serve_report
+      Ftr_obs.Json.(
+        Obj
+          [
+            ("skipped", Bool true);
+            ("host_recommended_domains", Int host);
+            ("full_scale", Bool full);
+          ])
+  end
+  else begin
+    let jobs = match jobs_flag with Some j -> j | None -> Ftr_exec.Pool.default_jobs () in
+    section
+      (Printf.sprintf
+         "SERVE — the overlay as a message-passing service (--jobs %d; host recommends %d)\n\
+          the transcript is jobs-invariant by contract; parallelism only moves the wall clock"
+         jobs host);
+    let cfg =
+      {
+        D.default_config with
+        D.line_size = (if full then 1 lsl 14 else 4096);
+        initial = (if full then 1024 else 256);
+        links = 8;
+        seed;
+        ticks = (if smoke then 32 else 128);
+        rate = (if full then 64 else 32);
+        join_rate = 0.5;
+        crash_rate = 0.5;
+        leave_rate = 0.25;
+        stabilize = 2;
+      }
+    in
+    let r1 = D.run { cfg with D.jobs = Some 1 } in
+    let rj = D.run { cfg with D.jobs = Some jobs } in
+    let same =
+      D.report_lines ~wall:false r1.D.res_report = D.report_lines ~wall:false rj.D.res_report
+    in
+    let rate r = r.D.res_report.D.rp_requests_per_second in
+    Printf.printf
+      "%28s: jobs=1 %8.0f lookups/s, jobs=%d %8.0f lookups/s, speedup %5.2fx%s\n%!"
+      "serve (churny workload)" (rate r1) jobs (rate rj)
+      (rate rj /. rate r1)
+      (if same then "" else "  [OUTPUT MISMATCH]");
+    Printf.printf "%28s: delivered %d/%d, hops p50 %d p99 %d, repairs %d, bounces %d\n%!"
+      "outcomes" r1.D.res_report.D.rp_delivered r1.D.res_report.D.rp_issued
+      r1.D.res_report.D.rp_p50_hops r1.D.res_report.D.rp_p99_hops r1.D.res_report.D.rp_repairs
+      r1.D.res_report.D.rp_bounces;
+    write_serve_report
+      Ftr_obs.Json.(
+        Obj
+          [
+            ("jobs", Int jobs);
+            ("host_recommended_domains", Int host);
+            ("full_scale", Bool full);
+            ("issued", Int r1.D.res_report.D.rp_issued);
+            ("delivered", Int r1.D.res_report.D.rp_delivered);
+            ("p50_hops", Int r1.D.res_report.D.rp_p50_hops);
+            ("p99_hops", Int r1.D.res_report.D.rp_p99_hops);
+            ("jobs1_lookups_per_second", Float (rate r1));
+            ("jobsN_lookups_per_second", Float (rate rj));
+            ("speedup", Float (rate rj /. rate r1));
+            ("output_identical", Bool same);
+          ])
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Route throughput: flat-CSR router vs the pre-refactor reference     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1338,6 +1427,7 @@ let () =
   run_section "bench.route" run_route_throughput;
   run_section "bench.tracing" run_tracing;
   run_section "bench.exec" run_exec;
+  run_section "bench.serve" run_serve;
   run_section "bench.lower_bound" run_lower_bound_machinery;
   run_section "bench.ablations" run_ablations;
   run_section "bench.extensions" run_extensions;

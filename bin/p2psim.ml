@@ -889,6 +889,31 @@ let check_cmd =
     (* Exec subsystem: merged sweep results must not depend on the worker
        count, and per-job streams must be distinct and root-free. *)
     report "exec: deterministic merge" (Check.exec ~seed ());
+    (* Service subsystem: a churny serve run must leave conservation,
+       ring sanity and every mailbox invariant intact. *)
+    let svc_cfg =
+      {
+        Ftr_svc.Driver.default_config with
+        Ftr_svc.Driver.line_size = max 256 (min n 1024);
+        initial = 32;
+        links = max 1 (min links 4);
+        seed;
+        ticks = 16;
+        rate = 4;
+        join_rate = 0.5;
+        crash_rate = 0.5;
+        leave_rate = 0.25;
+        stabilize = 1;
+      }
+    in
+    let svc_res = Ftr_svc.Driver.run svc_cfg in
+    report "service: post-churn invariants"
+      (Check.service svc_res.Ftr_svc.Driver.res_service);
+    let mb = Ftr_svc.Mailbox.create ~capacity:4 ~owner:0 () in
+    List.iter
+      (fun (time, src, seq) -> ignore (Ftr_svc.Mailbox.post mb ~time ~src ~seq ()))
+      [ (3, 1, 0); (1, 2, 0); (1, 1, 1); (2, 0, 0); (9, 9, 9) ];
+    report "service: mailbox discipline" (Check.mailbox mb);
     if !total = 0 then
       Printf.printf "all %d check sections passed (0 violations)\n" !sections
     else begin
@@ -1192,7 +1217,202 @@ let sweep_cmd =
       const run $ ns_t $ links_t $ fails_t $ networks_t 3 $ messages_t 100 $ strategy_t $ seed_t
       $ jobs_t $ checkpoint_t $ resume_t $ csv_t $ json_t $ selfcheck_t)
 
+(* serve — the message-passing overlay service *)
+
+let serve_cmd =
+  let module D = Ftr_svc.Driver in
+  let run nodes initial links seed ticks rate join_rate crash_rate leave_rate stabilize ttl jobs
+      shards json transcript explain no_wall selfcheck =
+    let links = resolve_links nodes links in
+    if initial < 2 || initial > nodes then begin
+      Printf.eprintf "p2psim serve: --initial must be in [2, nodes]\n";
+      exit 2
+    end;
+    let cfg =
+      {
+        D.default_config with
+        D.line_size = nodes;
+        initial;
+        links;
+        seed;
+        ticks;
+        rate;
+        join_rate;
+        crash_rate;
+        leave_rate;
+        stabilize;
+        ttl;
+        jobs;
+        shards;
+        explain;
+        record = transcript || selfcheck;
+      }
+    in
+    if selfcheck then begin
+      (* The acceptance gate for the service subsystem: the merged
+         transcript and the deterministic report must be byte-identical
+         across worker counts and the sequential fallback — including any
+         mid-run churn the flags inject — and the structural invariants
+         (request conservation, no mailbox overflow, clean drain) must
+         hold. Exit 1 on any divergence. *)
+      let cfg = { cfg with D.record = true; explain = None } in
+      let serialize (res : D.result) =
+        res.D.res_transcript
+        ^ String.concat "\n" (D.report_lines ~wall:false res.D.res_report)
+        ^ "\n"
+      in
+      let problems = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> problems := m :: !problems) fmt in
+      let ref_res = D.run { cfg with D.jobs = Some 1 } in
+      let reference = serialize ref_res in
+      List.iter
+        (fun j ->
+          if serialize (D.run { cfg with D.jobs = Some j }) <> reference then
+            fail "jobs=%d transcript differs from the jobs=1 reference" j)
+        [ 2; 4 ];
+      Unix.putenv "FTR_EXEC_SEQ" "1";
+      if serialize (D.run { cfg with D.jobs = None }) <> reference then
+        fail "FTR_EXEC_SEQ=1 transcript differs from the jobs=1 reference";
+      Unix.putenv "FTR_EXEC_SEQ" "0";
+      List.iter (fun p -> fail "%s" p) (D.invariant_problems ref_res);
+      match !problems with
+      | [] ->
+          print_endline
+            "serve selfcheck passed (jobs=1/2/4 and FTR_EXEC_SEQ=1 transcripts byte-identical; \
+             invariants hold)"
+      | ps ->
+          List.iter (Printf.eprintf "serve selfcheck: %s\n") (List.rev ps);
+          exit 1
+    end
+    else begin
+      (match explain with
+      | Some _ ->
+          (* Same clean-slate forcing as [explain]: trace identity derives
+             from (seed, request id), so the rendered trace is
+             byte-identical across --jobs counts. *)
+          Ftr_obs.Flag.set_mode true;
+          Ftr_obs.Metrics.reset Ftr_obs.Metrics.default;
+          Ftr_obs.Span.reset ();
+          Ftr_obs.Events.reset ();
+          Ftr_obs.Tracing.reset ();
+          Ftr_obs.Tracing.set_seed seed;
+          Ftr_obs.Tracing.force_full true
+      | None -> ());
+      let res = D.run cfg in
+      if transcript then print_string res.D.res_transcript;
+      (match explain with
+      | Some k -> (
+          match Ftr_obs.Tracing.latest () with
+          | Some tr ->
+              Printf.printf "request #%d as a multi-hop message exchange\n" k;
+              print_string (Ftr_obs.Tracing.render tr)
+          | None ->
+              Printf.eprintf
+                "p2psim serve: request #%d left no trace (is the id within --ticks x --rate?)\n"
+                k;
+              exit 1)
+      | None -> ());
+      if json then
+        print_endline (Ftr_obs.Json.to_string (D.report_json ~wall:(not no_wall) res.D.res_report))
+      else List.iter print_endline (D.report_lines ~wall:(not no_wall) res.D.res_report)
+    end
+  in
+  let initial_t =
+    Arg.(
+      value & opt int 256
+      & info [ "initial" ] ~docv:"K" ~doc:"Nodes populated before the service starts.")
+  in
+  let ticks_t =
+    Arg.(
+      value & opt int 64
+      & info [ "ticks" ] ~docv:"T" ~doc:"Control horizon in logical ticks; draining adds rounds.")
+  in
+  let rate_t =
+    Arg.(value & opt int 8 & info [ "rate" ] ~docv:"R" ~doc:"User lookups issued per tick.")
+  in
+  let join_rate_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "join-rate" ] ~docv:"MEAN" ~doc:"Poisson mean of joins injected per tick.")
+  in
+  let crash_rate_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"MEAN" ~doc:"Poisson mean of crashes injected per tick.")
+  in
+  let leave_rate_t =
+    Arg.(
+      value & opt float 0.0
+      & info [ "leave-rate" ] ~docv:"MEAN"
+          ~doc:"Poisson mean of graceful leaves injected per tick.")
+  in
+  let stabilize_t =
+    Arg.(
+      value & opt int 0
+      & info [ "stabilize" ] ~docv:"K" ~doc:"Stabilization pulses issued per tick.")
+  in
+  let ttl_t =
+    Arg.(value & opt int 256 & info [ "ttl" ] ~docv:"H" ~doc:"Lookup hop budget.")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:
+            "Worker domains (default: the recommended domain count; never changes the \
+             transcript).")
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Fixed shard count the due actors are cut into each round; part of the \
+             deterministic schedule, independent of --jobs.")
+  in
+  let transcript_t =
+    Arg.(
+      value & flag
+      & info [ "transcript" ] ~doc:"Print the merged per-message service transcript.")
+  in
+  let explain_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "explain" ] ~docv:"K"
+          ~doc:
+            "Trace request K through the flight recorder and print its hop-by-hop story as a \
+             message exchange.")
+  in
+  let no_wall_t =
+    Arg.(
+      value & flag
+      & info [ "no-wall" ]
+          ~doc:
+            "Omit the wall-clock line from the report so the whole output is byte-reproducible \
+             (what the @serve golden rule diffs).")
+  in
+  let selfcheck_t =
+    Arg.(
+      value & flag
+      & info [ "selfcheck" ]
+          ~doc:
+            "Verify the service transcript is byte-identical across jobs=1/2/4 and \
+             FTR_EXEC_SEQ=1, and that the scheduler invariants hold; exit 1 on divergence.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the overlay as a message-passing service: actor nodes, deterministic mailboxes, \
+          multi-hop lookups under churn")
+    Term.(
+      const run $ n_t 4096 $ initial_t $ links_t $ seed_t $ ticks_t $ rate_t $ join_rate_t
+      $ crash_rate_t $ leave_rate_t $ stabilize_t $ ttl_t $ jobs_t $ shards_t $ json_t
+      $ transcript_t $ explain_t $ no_wall_t $ selfcheck_t)
+
 let () =
+  Ftr_obs.Events.install_exit_flush ();
   let info =
     Cmd.info "p2psim" ~version:"1.0.0"
       ~doc:"Fault-tolerant routing in peer-to-peer systems (Aspnes-Diamadi-Shah, PODC 2002)"
@@ -1216,4 +1436,5 @@ let () =
             report_cmd;
             check_cmd;
             sweep_cmd;
+            serve_cmd;
           ]))

@@ -701,3 +701,96 @@ let store ?(complete = false) (s : Store.t) =
       values
   end;
   List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Service subsystem (Ftr_svc): deterministic mailboxes and actors      *)
+(* ------------------------------------------------------------------ *)
+
+(* The bounded-mailbox rule and the delivery order. [well_ordered] is the
+   load-bearing one: a mailbox out of delivery order means some post or
+   drain bypassed the sorted insert, and the scheduler's jobs-invariance
+   claim is void. *)
+let mailbox ?(subject = "mailbox") (mb : _ Ftr_svc.Mailbox.t) =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let module M = Ftr_svc.Mailbox in
+  if M.length mb > M.capacity mb then
+    emit
+      (violation "svc.mailbox-bound" subject "length %d exceeds capacity %d" (M.length mb)
+         (M.capacity mb));
+  if M.high_water mb > M.capacity mb then
+    emit
+      (violation "svc.mailbox-bound" subject "high water %d exceeds capacity %d"
+         (M.high_water mb) (M.capacity mb));
+  if M.length mb <> List.length (M.keys mb) then
+    emit
+      (violation "svc.mailbox-count" subject "length %d disagrees with %d stored keys"
+         (M.length mb) (List.length (M.keys mb)));
+  if not (M.well_ordered mb) then
+    emit (violation "svc.mailbox-order" subject "entries are not in delivery order");
+  List.rev !out
+
+(* Structural invariants of a running (or finished) service: request
+   conservation, ring sanity, link budgets and every actor's mailbox.
+   Sorted actor order comes from [iter_actors], so the report is
+   deterministic. *)
+let service (svc : Ftr_svc.Service.t) =
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let module S = Ftr_svc.Service in
+  let stats = S.stats svc in
+  let pending = List.length (S.pending_requests svc) in
+  if
+    stats.S.issued
+    <> stats.S.ok + stats.S.failed + stats.S.timed_out + pending
+  then
+    emit
+      (violation "svc.conservation" "service"
+         "issued %d but delivered %d + failed %d + timed_out %d + pending %d" stats.S.issued
+         stats.S.ok stats.S.failed stats.S.timed_out pending);
+  if stats.S.maint_issued < stats.S.maint_ok + stats.S.maint_failed then
+    emit
+      (violation "svc.conservation" "service"
+         "maintenance completions %d exceed issues %d"
+         (stats.S.maint_ok + stats.S.maint_failed)
+         stats.S.maint_issued);
+  let line_size = S.line_size svc in
+  let links = S.links svc in
+  S.iter_actors svc (fun v ->
+      let subject = Printf.sprintf "actor %d" v.S.av_pos in
+      if v.S.av_pos < 0 || v.S.av_pos >= line_size then
+        emit (violation "svc.off-line" subject "position outside [0,%d)" line_size);
+      if v.S.av_alive then begin
+        (match v.S.av_left with
+        | Some l when l >= v.S.av_pos ->
+            emit (violation "svc.ring-order" subject "left pointer %d is not left of %d" l v.S.av_pos)
+        | Some _ | None -> ());
+        (match v.S.av_right with
+        | Some r when r <= v.S.av_pos ->
+            emit
+              (violation "svc.ring-order" subject "right pointer %d is not right of %d" r
+                 v.S.av_pos)
+        | Some _ | None -> ());
+        let nl = List.length v.S.av_long and nb = List.length v.S.av_births in
+        if nl <> nb then
+          emit (violation "svc.birth-order-skew" subject "%d long links but %d birth ticks" nl nb);
+        if nl > links then
+          emit (violation "svc.link-count" subject "%d long links exceed the budget l=%d" nl links);
+        List.iter
+          (fun tgt ->
+            if tgt = v.S.av_pos then emit (violation "svc.self-link" subject "long link to itself")
+            else if tgt < 0 || tgt >= line_size then
+              emit (violation "svc.off-line" subject "long link to %d outside [0,%d)" tgt line_size))
+          v.S.av_long
+      end;
+      if v.S.av_mail_length > v.S.av_mail_capacity then
+        emit
+          (violation "svc.mailbox-bound" subject "length %d exceeds capacity %d"
+             v.S.av_mail_length v.S.av_mail_capacity);
+      if v.S.av_mail_high_water > v.S.av_mail_capacity then
+        emit
+          (violation "svc.mailbox-bound" subject "high water %d exceeds capacity %d"
+             v.S.av_mail_high_water v.S.av_mail_capacity);
+      if not v.S.av_mail_well_ordered then
+        emit (violation "svc.mailbox-order" subject "entries are not in delivery order"));
+  List.rev !out

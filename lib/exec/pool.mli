@@ -33,6 +33,50 @@ val map : ?jobs:int -> count:int -> (int -> 'a) -> 'a array
     on the caller once all workers have joined.
     @raise Invalid_argument if [count < 0] or [jobs < 1]. *)
 
+(** {1 Resident pool}
+
+    {!map} spawns fresh domains per call — fine for sweeps, dominant for
+    a serving loop that fans out thousands of sub-millisecond rounds. A
+    [resident] keeps its workers parked on a condition variable between
+    rounds. The mutex hand-offs at round start/end give happens-before
+    edges in both directions, so effects written by workers during a
+    round are visible to the coordinator when {!run_resident} returns —
+    the guarantee {!Ftr_svc}'s barrier-separated mailbox discipline is
+    built on (docs/SERVICE.md). *)
+
+type resident
+(** A crew of parked worker domains. The worker count is fixed at
+    creation: {!sequential_forced}, a single-job request, or creation
+    from inside another pool's worker all degrade the crew to inline
+    sequential execution. *)
+
+val create_resident : ?jobs:int -> unit -> resident
+(** Spawn the crew ([jobs] defaults to {!default_jobs}); the caller must
+    eventually {!shutdown_resident}. Prefer {!with_resident}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val run_resident : resident -> count:int -> (int -> unit) -> unit
+(** One round: evaluate [f i] for every [i] in [0, count), effects only.
+    Each index is run exactly once; which worker runs it is unspecified,
+    so only effects keyed by index (e.g. writing slot [i] of a
+    caller-owned array) are deterministic. Blocks until every worker has
+    drained the round. A job's exception is re-raised here after the
+    round settles; indices not yet claimed when a job raised may be
+    skipped, so a raising round's effects are unspecified.
+    @raise Invalid_argument if [count < 0] or after shutdown. *)
+
+val resident_jobs : resident -> int
+(** Effective parallelism of the crew (1 when degraded to inline). *)
+
+val resident_rounds : resident -> int
+(** Rounds run so far (including inline ones), for reporting. *)
+
+val shutdown_resident : resident -> unit
+(** Stop and join the workers; idempotent. Further rounds raise. *)
+
+val with_resident : ?jobs:int -> (resident -> 'a) -> 'a
+(** [create_resident] / run [f] / [shutdown_resident], exception-safe. *)
+
 val map_seeded :
   ?jobs:int -> seed:int -> count:int -> (index:int -> rng:Ftr_prng.Rng.t -> 'a) -> 'a array
 (** {!map} with each job handed its {!Seed.rng_for}-derived generator.

@@ -152,6 +152,20 @@ let stdlib_alias = function
 
 let mem_s x l = List.exists (String.equal x) l
 
+(* [Ftr_svc.Mailbox.t] is the service's deterministic actor mailbox:
+   the coordinator posts between rounds, the owning shard's worker
+   drains during one, and the round barrier sequences the two, so a
+   mailbox handed through [Pool] workers is a sanctioned seam, not
+   shared mutable state (docs/SERVICE.md). Depending on how a .cmt
+   spells the path the head can read [Mailbox.t], [Ftr_svc.Mailbox.t]
+   or [Ftr_svc__Mailbox.t], so match on the trailing components. *)
+let sanctioned_head head =
+  mem_s head sanctioned_heads
+  ||
+  match List.rev (String.split_on_char '.' head) with
+  | "t" :: m :: _ -> String.equal m "Mailbox" || String.ends_with ~suffix:"__Mailbox" m
+  | _ -> false
+
 (* Resolve a [Tconstr] head against the declaration table. Heads are
    spelled the way the use site's [Path] prints: a same-unit reference
    is bare ("side"), a via-alias reference is partially qualified
@@ -217,7 +231,7 @@ let comparison_unsafe (table : table) ~modname ~strict_float ty =
             else None
           else if mem_s head safe_atomic then None
           else if mem_s head safe_parametric then first ~nested:true (depth + 1) args
-          else if String.equal head "exn" || mem_s head sanctioned_heads
+          else if String.equal head "exn" || sanctioned_head head
                   || mem_s head mutable_heads then
             Some (Printf.sprintf "the opaque type %s" head)
           else if Hashtbl.mem seen head then None
@@ -260,7 +274,7 @@ let mutability (table : table) ~modname ty =
       | Types.Tconstr (p, args, _) -> (
           let head = dotted_of_path p in
           let head = Option.value ~default:head (stdlib_alias head) in
-          if mem_s head sanctioned_heads then begin
+          if sanctioned_head head then begin
             saw_sanctioned := true;
             None
           end

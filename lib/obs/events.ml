@@ -45,6 +45,20 @@ let flush_sink () =
   | Some (To_channel oc) -> flush oc
   | Some (To_buffer _) | None -> ()
 
+(* One process-wide exit hook that flushes whatever sink is current at
+   exit time. The env sink's own lazy [at_exit] only covers the channel
+   it opened; a programmatic [set_sink (To_channel ...)] installed later
+   had no such cover, so a CLI that exits early (usage error, selfcheck
+   failure) could lose its tail. Idempotent: one hook however often the
+   entry point calls it. *)
+let exit_flush_installed = ref false
+
+let install_exit_flush () =
+  if not !exit_flush_installed then begin
+    exit_flush_installed := true;
+    at_exit flush_sink
+  end
+
 let every = ref 1
 
 let set_sampling ~every:k =

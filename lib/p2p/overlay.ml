@@ -44,6 +44,7 @@ type t = {
   line_size : int;
   links : int;
   ttl : int;
+  regenerate : bool;
   pl : Sample.power_law;
   nodes : (int, node) Hashtbl.t;
   pending : (int, pending_request) Hashtbl.t;
@@ -52,8 +53,8 @@ type t = {
   mutable tick : int;
 }
 
-let create ?latency ?latency_model ?(ttl = 256) ?(trace = Trace.create ()) ~line_size ~links
-    ~rng engine =
+let create ?latency ?latency_model ?(ttl = 256) ?(regenerate = true) ?(trace = Trace.create ())
+    ~line_size ~links ~rng engine =
   if line_size < 2 then invalid_arg "Overlay.create: line_size must be >= 2";
   if links < 1 then invalid_arg "Overlay.create: links must be >= 1";
   let latency =
@@ -72,6 +73,7 @@ let create ?latency ?latency_model ?(ttl = 256) ?(trace = Trace.create ()) ~line
     line_size;
     links;
     ttl;
+    regenerate;
     pl = Sample.power_law ~exponent:1.0 ~max_length:(line_size - 1);
     nodes = Hashtbl.create 1024;
     pending = Hashtbl.create 64;
@@ -258,27 +260,14 @@ let rec lookup_step t ~at ~target ~request ~hops =
       end;
       if hops >= t.ttl then fail_request t request ~hops ~stuck_at:node.pos ~reason:"ttl_exceeded"
       else begin
-        (* Strictly closer neighbours advance the lookup; an equidistant
-           neighbour at a smaller position also does, so a point midway
-           between two nodes resolves to the same owner from either
-           direction (the tie walk moves leftward once and stops). Only
-           the single best candidate — minimal (distance, position) — is
-           ever tried before the link set changes (a dead pick repairs
-           the link and re-enters this step), so one min-scan replaces
-           the sorted candidate list the previous version built. *)
-        let my_dist = abs (node.pos - target) in
-        let best = ref (-1) and best_d = ref max_int in
-        List.iter
-          (fun v ->
-            let d = abs (v - target) in
-            if
-              (d < my_dist || (d = my_dist && v < node.pos))
-              && (d < !best_d || (d = !best_d && v < !best))
-            then begin
-              best := v;
-              best_d := d
-            end)
-          (neighbors_of node);
+        (* Only the single best candidate — minimal (distance, position)
+           among the advancing neighbours, per [Protocol.best_candidate]
+           — is ever tried before the link set changes (a dead pick
+           repairs the link and re-enters this step), so one min-scan
+           replaces the sorted candidate list the previous version
+           built. *)
+        let choice = Protocol.best_candidate ~pos:node.pos ~target (neighbors_of node) in
+        let best = match choice with Some (v, _) -> v | None -> -1 in
         (* Flight recorder, full-fidelity lane: name every neighbour the
            min-scan rejected and the candidate it kept. Dead picks are
            recorded by [try_candidate] when the probe discovers them. *)
@@ -287,23 +276,26 @@ let rec lookup_step t ~at ~target ~request ~hops =
           if Ftr_obs.Tracing.is_live tr then begin
             List.iter
               (fun v ->
-                if v <> !best then begin
+                if v <> best then begin
                   let d = abs (v - target) in
                   Ftr_obs.Tracing.candidate tr ~cur:node.pos ~cand:v ~dist:d
-                    (if d < my_dist || (d = my_dist && v < node.pos) then
+                    (if Protocol.advances ~pos:node.pos ~target ~cand:v then
                        Ftr_obs.Tracing.Not_best
                      else Ftr_obs.Tracing.Not_closer)
                 end)
               (neighbors_of node);
-            if !best >= 0 then
-              Ftr_obs.Tracing.candidate tr ~cur:node.pos ~cand:!best ~dist:!best_d
-                Ftr_obs.Tracing.Chosen
+            match choice with
+            | Some (v, d) ->
+                Ftr_obs.Tracing.candidate tr ~cur:node.pos ~cand:v ~dist:d
+                  Ftr_obs.Tracing.Chosen
+            | None -> ()
           end
         end;
-        if !best < 0 then
-          (* No live neighbour closer: this node owns the target's basin. *)
-          resolve_request t ~owner:node.pos ~request ~hops
-        else try_candidate t node ~v:!best ~target ~request ~hops
+        match choice with
+        | None ->
+            (* No live neighbour closer: this node owns the target's basin. *)
+            resolve_request t ~owner:node.pos ~request ~hops
+        | Some (v, _) -> try_candidate t node ~v ~target ~request ~hops
       end
 
 and try_candidate t node ~v ~target ~request ~hops =
@@ -355,7 +347,7 @@ and drop_dead_link t node ~dead =
     remove_long node dead;
     t.stats.repairs <- t.stats.repairs + 1;
     if obs then Ftr_obs.Metrics.incr "overlay_link_repairs_total";
-    regenerate_long_link t node
+    if t.regenerate then regenerate_long_link t node
   end;
   let points_at o = match o with Some p -> p = dead | None -> false in
   if points_at node.left then begin
@@ -371,16 +363,10 @@ and drop_dead_link t node ~dead =
   if Ftr_debug.Debug.enabled () then debug_check_node t node
 
 and probe_ring t node ~from ~dir =
-  (* Walk the line away from the dead neighbour, one probe per grid point,
-     until a live node answers. *)
-  let rec walk pos =
-    if pos < 0 || pos >= t.line_size then None
-    else begin
-      t.stats.probes <- t.stats.probes + 1;
-      if is_alive t pos && pos <> node.pos then Some pos else walk (pos + dir)
-    end
-  in
-  walk (from + dir)
+  (* The shared walk-outward rule; probes are charged to this overlay's
+     failure-detection accounting. *)
+  Protocol.probe_ring ~alive:(is_alive t) ~line_size:t.line_size ~self:node.pos ~from ~dir
+    ~on_probe:(fun () -> t.stats.probes <- t.stats.probes + 1)
 
 and regenerate_long_link t node =
   (* Sample a fresh sink by the 1/d law and claim its basin owner through
@@ -633,6 +619,8 @@ type node_view = {
 let line_size t = t.line_size
 
 let links t = t.links
+
+let ttl t = t.ttl
 
 let known t pos = Hashtbl.mem t.nodes pos
 

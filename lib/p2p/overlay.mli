@@ -32,6 +32,7 @@ val create :
   ?latency:float ->
   ?latency_model:Ftr_sim.Latency.t ->
   ?ttl:int ->
+  ?regenerate:bool ->
   ?trace:Ftr_sim.Trace.t ->
   line_size:int ->
   links:int ->
@@ -41,7 +42,13 @@ val create :
 (** An empty overlay bound to an engine. [latency] is a fixed per-message
     delay (default 1.0); [latency_model] overrides it with a jittered or
     heavy-tailed model, so experiments can check that conclusions survive
-    asynchrony. [ttl] caps lookup hops (default 256).
+    asynchrony. [ttl] caps lookup hops (default 256). [regenerate]
+    (default [true]) controls Section 5's link regeneration: when [false],
+    dead links are still detected, removed and the ring repaired, but no
+    replacement 1/d lookups are issued — the link set only shrinks. With a
+    constant latency model this makes a lookup's outcome a pure function
+    of the link state and the failure set (no RNG draws on the routing
+    path), which is what the {!Ftr_svc} equivalence harness pins against.
     @raise Invalid_argument on non-positive latency or sizes. *)
 
 val engine : t -> Ftr_sim.Engine.t
@@ -103,6 +110,9 @@ val line_size : t -> int
 
 val links : t -> int
 (** The per-node long-link budget ℓ. *)
+
+val ttl : t -> int
+(** The lookup hop cap this overlay was created with. *)
 
 val known : t -> int -> bool
 (** Whether a node (live or dead) ever existed at the position. *)

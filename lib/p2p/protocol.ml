@@ -1,0 +1,57 @@
+(* The overlay's routing decisions as pure functions, extracted from the
+   synchronous [Overlay] paths so the message-passing service ([Ftr_svc])
+   makes byte-for-byte the same choices at every hop. Nothing here touches
+   node state, RNGs or the engine: every function is a total function of
+   its arguments, which is what lets two very different schedulers — the
+   event heap and the actor rounds — agree on owners, hop counts and
+   repair targets. *)
+
+(* Section 4's greedy rule with the tie walk: a strictly closer neighbour
+   advances the lookup; an equidistant neighbour at a smaller position
+   also does, so a point midway between two nodes resolves to the same
+   owner from either direction (the tie walk moves leftward once and
+   stops). *)
+let advances ~pos ~target ~cand =
+  let my_dist = abs (pos - target) and d = abs (cand - target) in
+  d < my_dist || (d = my_dist && cand < pos)
+
+(* Among advancing candidates, the one with minimal (distance, position)
+   wins — the total order that makes the min-scan deterministic. *)
+let better ~best ~best_dist ~cand ~dist = dist < best_dist || (dist = best_dist && cand < best)
+
+(* One min-scan over the neighbour set; [None] means no neighbour
+   advances, i.e. the scanning node owns the target's basin. Liveness is
+   deliberately not consulted here: the caller probes the single chosen
+   candidate and, on a dead pick, repairs the link set and re-scans —
+   the paper's failure-detection-by-probing, shared by both runtimes. *)
+let best_candidate ~pos ~target neighbors =
+  let my_dist = abs (pos - target) in
+  let best = ref (-1) and best_dist = ref max_int in
+  List.iter
+    (fun cand ->
+      let dist = abs (cand - target) in
+      if
+        (dist < my_dist || (dist = my_dist && cand < pos))
+        && better ~best:!best ~best_dist:!best_dist ~cand ~dist
+      then begin
+        best := cand;
+        best_dist := dist
+      end)
+    neighbors;
+  if !best < 0 then None else Some (!best, !best_dist)
+
+(* Ring repair: walk the line away from the dead neighbour, one probe per
+   grid point, until a live node answers or the line ends. [alive] is the
+   caller's liveness oracle (registry lookup in the synchronous overlay,
+   the frozen per-round view in the service); [on_probe] charges each
+   probe to the caller's accounting. The walking node itself never
+   answers its own probe. *)
+let probe_ring ~alive ~line_size ~self ~from ~dir ~on_probe =
+  let rec walk pos =
+    if pos < 0 || pos >= line_size then None
+    else begin
+      on_probe ();
+      if alive pos && pos <> self then Some pos else walk (pos + dir)
+    end
+  in
+  walk (from + dir)

@@ -1,0 +1,33 @@
+(** The overlay's routing decisions as pure functions — the message
+    protocol extracted from {!Overlay}'s synchronous paths so the
+    actor-based service ({!Ftr_svc}) makes exactly the same choices.
+    Every function is a total function of its arguments: no node state,
+    no RNG, no engine. *)
+
+val advances : pos:int -> target:int -> cand:int -> bool
+(** Section 4's greedy advance rule with the tie walk: [cand] advances a
+    lookup for [target] sitting at [pos] when it is strictly closer, or
+    equidistant at a smaller position. *)
+
+val better : best:int -> best_dist:int -> cand:int -> dist:int -> bool
+(** The min-scan total order: [cand] at [dist] beats the current [best]
+    at [best_dist] on smaller distance, position breaking ties. *)
+
+val best_candidate : pos:int -> target:int -> int list -> (int * int) option
+(** One min-scan over a neighbour set: the advancing candidate with
+    minimal (distance, position) and its distance, or [None] when no
+    neighbour advances — the scanning node owns the target's basin.
+    Liveness is not consulted; the caller probes the chosen candidate
+    and re-scans after repairing a dead pick. *)
+
+val probe_ring :
+  alive:(int -> bool) ->
+  line_size:int ->
+  self:int ->
+  from:int ->
+  dir:int ->
+  on_probe:(unit -> unit) ->
+  int option
+(** Ring repair by walking the line from [from] in direction [dir] (±1),
+    one [on_probe] charge per grid point, until [alive] answers at a
+    position other than [self] or the line ends. *)

@@ -1,0 +1,394 @@
+(* One overlay node as an actor. The handler is the synchronous overlay's
+   protocol re-expressed over messages: every decision delegates to the
+   shared pure rules in [Ftr_p2p.Protocol], so for a static network the
+   actor and the event-heap overlay choose identical owners, hops and
+   repairs (the equivalence property in test/test_svc.ml).
+
+   Determinism discipline — what a handler may touch:
+   - its own actor state (links, ring pointers, RNG, sequence counter),
+   - the frozen per-round liveness view (read-only during a round),
+   - the per-shard accumulators behind the [ctx] callbacks (outbox,
+     counters, transcript, completions, departures).
+   Nothing else: no other actor's state, no global registries, no wall
+   clock. That confinement is what makes the merged transcript a pure
+   function of (seed, logical time, sender, sequence). *)
+
+module Rng = Ftr_prng.Rng
+module Sample = Ftr_prng.Sample
+module Protocol = Ftr_p2p.Protocol
+open Message
+
+type t = {
+  pos : int;
+  mutable alive : bool;
+  mutable left : int option;
+  mutable right : int option;
+  mutable long : int list;
+  mutable births : int list; (* local arrival order, aligned with [long] *)
+  mutable next_seq : int; (* per-sender sequence numbers for [Mailbox] keys *)
+  mutable birth_tick : int; (* local counter feeding [births] *)
+  rng : Rng.t; (* per-actor stream: Seed.rng_for ~seed ~index:pos *)
+  mailbox : payload Mailbox.t;
+}
+
+(* Worker-side event counters, merged by the coordinator in shard order. *)
+type counters = {
+  mutable c_messages : int; (* routed lookup forwards (overlay stats.messages) *)
+  mutable c_replies : int; (* Resolved/Splice/Set_* service replies *)
+  mutable c_probes : int;
+  mutable c_repairs : int;
+  mutable c_redirects : int;
+  mutable c_maint_issued : int;
+  mutable c_handled : int; (* envelopes processed *)
+}
+
+let fresh_counters () =
+  {
+    c_messages = 0;
+    c_replies = 0;
+    c_probes = 0;
+    c_repairs = 0;
+    c_redirects = 0;
+    c_maint_issued = 0;
+    c_handled = 0;
+  }
+
+let merge_counters ~into c =
+  into.c_messages <- into.c_messages + c.c_messages;
+  into.c_replies <- into.c_replies + c.c_replies;
+  into.c_probes <- into.c_probes + c.c_probes;
+  into.c_repairs <- into.c_repairs + c.c_repairs;
+  into.c_redirects <- into.c_redirects + c.c_redirects;
+  into.c_maint_issued <- into.c_maint_issued + c.c_maint_issued;
+  into.c_handled <- into.c_handled + c.c_handled
+
+(* Everything a handler is allowed to see beyond its own actor. [send]
+   appends to the shard outbox (the coordinator posts it after the round
+   barrier), [complete] records a lookup outcome for merge-time
+   accounting, [depart] queues a membership change. *)
+type ctx = {
+  line_size : int;
+  links : int;
+  ttl : int;
+  regenerate : bool;
+  now : int;
+  alive_view : Bytes.t; (* frozen for the round; 1 = live *)
+  pl : Sample.power_law;
+  counters : counters;
+  send : src:t -> dst:int -> payload -> unit;
+  complete : lookup -> outcome -> unit;
+  depart : int -> unit;
+}
+
+let view_alive ctx pos = pos >= 0 && pos < ctx.line_size && Bytes.get ctx.alive_view pos = '\001'
+
+let create ?capacity ~pos ~rng () =
+  {
+    pos;
+    alive = true;
+    left = None;
+    right = None;
+    long = [];
+    births = [];
+    next_seq = 0;
+    birth_tick = 0;
+    rng;
+    mailbox = Mailbox.create ?capacity ~owner:pos ();
+  }
+
+let neighbors_of a = Option.to_list a.left @ Option.to_list a.right @ a.long
+
+(* ------------------------------------------------------------------ *)
+(* Link bookkeeping (mirrors Overlay's)                                *)
+(* ------------------------------------------------------------------ *)
+
+let remove_long a target =
+  let rec drop ls bs =
+    match (ls, bs) with
+    | [], [] -> ([], [])
+    | l :: ls', b :: bs' ->
+        if l = target then (ls', bs')
+        else
+          let ls'', bs'' = drop ls' bs' in
+          (l :: ls'', b :: bs'')
+    | _ -> (ls, bs)
+  in
+  let ls, bs = drop a.long a.births in
+  a.long <- ls;
+  a.births <- bs
+
+let add_long a target =
+  a.birth_tick <- a.birth_tick + 1;
+  a.long <- target :: a.long;
+  a.births <- a.birth_tick :: a.births
+
+(* Section 5's replacement rule on solicitation, with this actor's own
+   stream standing in for the overlay's shared generator. *)
+let consider_redirect ctx a ~newcomer =
+  if newcomer <> a.pos then begin
+    let weights = List.map (fun l -> 1.0 /. float_of_int (abs (a.pos - l))) a.long in
+    let sum_old = List.fold_left ( +. ) 0.0 weights in
+    if sum_old > 0.0 then begin
+      let p_new = 1.0 /. float_of_int (abs (a.pos - newcomer)) in
+      if Rng.float a.rng < p_new /. (sum_old +. p_new) then begin
+        let target = Rng.float a.rng *. sum_old in
+        let victim =
+          let rec scan acc = function
+            | [] -> None
+            | (l, w) :: rest -> if acc +. w > target then Some l else scan (acc +. w) rest
+          in
+          scan 0.0 (List.combine a.long weights)
+        in
+        match victim with
+        | Some v ->
+            remove_long a v;
+            add_long a newcomer;
+            ctx.counters.c_redirects <- ctx.counters.c_redirects + 1
+        | None -> ()
+      end
+    end
+  end
+
+let ring_probe ctx a ~from ~dir =
+  Protocol.probe_ring
+    ~alive:(fun pos -> view_alive ctx pos)
+    ~line_size:ctx.line_size ~self:a.pos ~from ~dir
+    ~on_probe:(fun () -> ctx.counters.c_probes <- ctx.counters.c_probes + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Lookup processing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tlog l step = if l.traced then { l with tlog_rev = step :: l.tlog_rev } else l
+
+(* A lookup starting at this actor (a fresh maintenance lookup, or the
+   local half of forwarding) runs inline at hop-issue time, exactly like
+   the overlay's [lookup_step] recursion at the issuing node. *)
+let rec start_lookup ctx a ~kind ~target =
+  ctx.counters.c_maint_issued <- ctx.counters.c_maint_issued + 1;
+  enter ctx a
+    {
+      request = -1;
+      origin = a.pos;
+      target;
+      hops = 0;
+      kind;
+      traced = false;
+      path_rev = [];
+      tlog_rev = [];
+    }
+
+(* Arrival at a decision point: record the hop, check the TTL, scan.
+   Re-entries after a repair come back here with unchanged hops, exactly
+   like [Overlay.lookup_step]. *)
+and enter ctx a l =
+  let l = { l with path_rev = a.pos :: l.path_rev } in
+  let l = tlog l (T_hop a.pos) in
+  if l.hops >= ctx.ttl then
+    ctx.complete l (Failed { stuck_at = a.pos; hops = l.hops; reason = "ttl_exceeded" })
+  else scan ctx a l
+
+and scan ctx a l =
+  let neighbors = neighbors_of a in
+  let choice = Protocol.best_candidate ~pos:a.pos ~target:l.target neighbors in
+  let l =
+    if not l.traced then l
+    else begin
+      let best = match choice with Some (v, _) -> v | None -> -1 in
+      let l =
+        List.fold_left
+          (fun l v ->
+            if v = best then l
+            else
+              let dist = abs (v - l.target) in
+              tlog l
+                (T_cand
+                   {
+                     cur = a.pos;
+                     cand = v;
+                     dist;
+                     verdict =
+                       (if Protocol.advances ~pos:a.pos ~target:l.target ~cand:v then V_not_best
+                        else V_not_closer);
+                   }))
+          l neighbors
+      in
+      match choice with
+      | Some (v, d) -> tlog l (T_cand { cur = a.pos; cand = v; dist = d; verdict = V_chosen })
+      | None -> l
+    end
+  in
+  match choice with
+  | None -> deliver ctx a l
+  | Some (best, best_dist) ->
+      if view_alive ctx best then begin
+        ctx.counters.c_messages <- ctx.counters.c_messages + 1;
+        ctx.send ~src:a ~dst:best (Lookup { l with hops = l.hops + 1 })
+      end
+      else begin
+        (* The probe discovers the pick is already dead: zero-latency
+           repair, then re-enter with unchanged hops (the overlay's
+           [on_dead_neighbor] path). *)
+        ctx.counters.c_probes <- ctx.counters.c_probes + 1;
+        let l =
+          tlog l (T_cand { cur = a.pos; cand = best; dist = best_dist; verdict = V_dead })
+        in
+        repair ctx a ~dead:best;
+        enter ctx a l
+      end
+
+(* This actor owns the target's basin. Maintenance kinds act at the
+   owner (splice for placement, redirect for solicitation) and answer
+   the origin where the protocol needs an answer. *)
+and deliver ctx a l =
+  (match l.kind with
+  | User | Link -> ()
+  | Placement { joiner } -> splice_in ctx a ~joiner
+  | Solicit { newcomer } ->
+      (* The overlay charges the solicitation answer as one message. *)
+      ctx.counters.c_messages <- ctx.counters.c_messages + 1;
+      consider_redirect ctx a ~newcomer);
+  ctx.complete l (Delivered { owner = a.pos; hops = l.hops });
+  match l.kind with
+  | (User | Link) when l.origin <> a.pos ->
+      ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+      ctx.send ~src:a ~dst:l.origin
+        (Resolved { request = l.request; owner = a.pos; hops = l.hops; kind = l.kind })
+  | User | Link | Placement _ | Solicit _ -> ()
+
+(* The owner-side half of a join splice (Overlay.insert_into_ring over
+   messages). The self-owner case — the placement lookup resolved to the
+   joiner itself, which is visible to probes while its join is in
+   flight — probes both directions and continues the join inline. *)
+and splice_in ctx a ~joiner =
+  if joiner = a.pos then begin
+    a.left <- ring_probe ctx a ~from:a.pos ~dir:(-1);
+    a.right <- ring_probe ctx a ~from:a.pos ~dir:1;
+    (match a.left with
+    | Some l ->
+        ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+        ctx.send ~src:a ~dst:l (Set_right (Some a.pos))
+    | None -> ());
+    (match a.right with
+    | Some r ->
+        ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+        ctx.send ~src:a ~dst:r (Set_left (Some a.pos))
+    | None -> ());
+    continue_join ctx a
+  end
+  else if a.pos < joiner then begin
+    (* The stale-pointer case: our right pointer may still name a dead
+       previous occupant of the joiner's own position; re-probe past it
+       rather than handing the joiner a self-loop. *)
+    let succ =
+      match a.right with
+      | Some r when r = joiner -> ring_probe ctx a ~from:joiner ~dir:1
+      | r -> r
+    in
+    a.right <- Some joiner;
+    ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+    ctx.send ~src:a ~dst:joiner (Splice { left = Some a.pos; right = succ });
+    match succ with
+    | Some s ->
+        ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+        ctx.send ~src:a ~dst:s (Set_left (Some joiner))
+    | None -> ()
+  end
+  else begin
+    let pred =
+      match a.left with
+      | Some lp when lp = joiner -> ring_probe ctx a ~from:joiner ~dir:(-1)
+      | lp -> lp
+    in
+    a.left <- Some joiner;
+    ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+    ctx.send ~src:a ~dst:joiner (Splice { left = pred; right = Some a.pos });
+    match pred with
+    | Some p ->
+        ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+        ctx.send ~src:a ~dst:p (Set_right (Some joiner))
+    | None -> ()
+  end
+
+(* Spliced in: build ℓ outgoing links through routed lookups and solicit
+   Poisson(ℓ) incoming ones (Overlay.join steps 2 and 3). *)
+and continue_join ctx a =
+  for _ = 1 to ctx.links do
+    let sink = Ftr_core.Network.sample_long_target ctx.pl a.rng ~n:ctx.line_size ~src:a.pos in
+    start_lookup ctx a ~kind:Link ~target:sink
+  done;
+  let solicit = Sample.poisson a.rng ~lambda:(float_of_int ctx.links) in
+  for _ = 1 to solicit do
+    let sink = Ftr_core.Network.sample_long_target ctx.pl a.rng ~n:ctx.line_size ~src:a.pos in
+    start_lookup ctx a ~kind:(Solicit { newcomer = a.pos }) ~target:sink
+  done
+
+(* Overlay.drop_dead_link over the frozen view: remove the dead long
+   link (regenerating it when the config says so), re-probe ring
+   pointers that named the dead node. *)
+and repair ctx a ~dead =
+  if List.mem dead a.long then begin
+    remove_long a dead;
+    ctx.counters.c_repairs <- ctx.counters.c_repairs + 1;
+    if ctx.regenerate then begin
+      let sink = Ftr_core.Network.sample_long_target ctx.pl a.rng ~n:ctx.line_size ~src:a.pos in
+      start_lookup ctx a ~kind:Link ~target:sink
+    end
+  end;
+  let points_at o = match o with Some p -> p = dead | None -> false in
+  if points_at a.left then begin
+    a.left <- ring_probe ctx a ~from:dead ~dir:(-1);
+    ctx.counters.c_repairs <- ctx.counters.c_repairs + 1
+  end;
+  if points_at a.right then begin
+    a.right <- ring_probe ctx a ~from:dead ~dir:1;
+    ctx.counters.c_repairs <- ctx.counters.c_repairs + 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The handler                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle ctx a (payload : payload) =
+  ctx.counters.c_handled <- ctx.counters.c_handled + 1;
+  match payload with
+  | Lookup l -> enter ctx a l
+  | Resolved { owner; kind = Link; _ } ->
+      (* Claim the long link the routed lookup found, under the budget;
+         dead origins never get here (the coordinator drains dead
+         mailboxes), matching the overlay callback's [node.alive] guard. *)
+      if owner <> a.pos && (not (List.mem owner a.long)) && List.length a.long < ctx.links then
+        add_long a owner
+  | Resolved _ -> ()
+  | Splice { left; right } ->
+      a.left <- left;
+      a.right <- right;
+      continue_join ctx a
+  | Set_left v -> a.left <- v
+  | Set_right v -> a.right <- v
+  | Stabilize ->
+      let candidates = Array.of_list (neighbors_of a) in
+      if Array.length candidates > 0 then begin
+        let v = candidates.(Rng.int a.rng (Array.length candidates)) in
+        ctx.counters.c_probes <- ctx.counters.c_probes + 1;
+        if not (view_alive ctx v) then repair ctx a ~dead:v
+      end
+  | Leave_now ->
+      (match a.left with
+      | Some l when view_alive ctx l ->
+          ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+          ctx.send ~src:a ~dst:l (Set_right a.right)
+      | Some _ | None -> ());
+      (match a.right with
+      | Some r when view_alive ctx r ->
+          ctx.counters.c_replies <- ctx.counters.c_replies + 1;
+          ctx.send ~src:a ~dst:r (Set_left a.left)
+      | Some _ | None -> ());
+      a.alive <- false;
+      ctx.depart a.pos
+  | Bounce { dead; lookup = l } ->
+      (* Our chosen candidate crashed with the lookup in flight: record
+         the dead pick, repair, re-scan with unchanged hops. *)
+      let l = tlog l (T_cand { cur = a.pos; cand = dead; dist = abs (dead - l.target); verdict = V_dead }) in
+      repair ctx a ~dead;
+      enter ctx a l

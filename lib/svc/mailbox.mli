@@ -1,0 +1,57 @@
+(** Deterministic actor mailboxes.
+
+    Entries are kept sorted by the delivery key [(deliver_at, sender,
+    per-sender sequence)] at all times, so a drain hands messages to the
+    handler in an order that is a pure function of what was posted —
+    never of domain scheduling. The key is strict (senders never reuse a
+    sequence number), so no two entries tie.
+
+    Concurrency contract — the seam [ftr_lint] T1 sanctions: the
+    coordinator posts between rounds, the owning shard's worker drains
+    during a round, and the round barrier ([Pool.run_resident]'s mutex
+    hand-off, or [Domain.join] under [Pool.map]) sequences the two, so
+    the mailbox needs no lock (docs/SERVICE.md). *)
+
+type 'a entry = { e_time : int; e_src : int; e_seq : int; e_msg : 'a }
+
+type 'a t
+
+val default_capacity : int
+(** 4096 entries. *)
+
+val create : ?capacity:int -> owner:int -> unit -> 'a t
+(** An empty mailbox for the actor at position [owner].
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val post : 'a t -> time:int -> src:int -> seq:int -> 'a -> bool
+(** Insert at the delivery-order position; [false] means the mailbox was
+    at capacity and the message was dropped (and counted in
+    {!dropped}) — the bounded-mailbox rule. *)
+
+val next_due : 'a t -> int option
+(** Earliest pending delivery time, if any. *)
+
+val take_due : 'a t -> now:int -> 'a entry list
+(** Remove and return every entry due at or before [now], in delivery
+    order. *)
+
+val owner : 'a t -> int
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** Messages refused at capacity since creation. *)
+
+val high_water : 'a t -> int
+(** Maximum occupancy ever reached. *)
+
+val is_empty : 'a t -> bool
+
+val keys : 'a t -> (int * int * int) list
+(** Stored [(time, src, seq)] keys in stored order, for validators. *)
+
+val well_ordered : 'a t -> bool
+(** Whether the stored order is strictly increasing under the delivery
+    order — the invariant {!Ftr_check.Check.mailbox} re-checks. *)

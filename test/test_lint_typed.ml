@@ -46,7 +46,7 @@ let rules_of file =
 let test_corpus () =
   let state, _ = Lazy.force fixture in
   Alcotest.(check int)
-    "all five fixture units loaded" 5
+    "all six fixture units loaded" 6
     (Array.length state.Typed_rules.units)
 
 (* T1: the cross-function race (run -> pool boundary -> job -> bump ->
@@ -65,6 +65,21 @@ let test_t1 () =
             (contains f.message "bump"))
         fs);
   Alcotest.(check (list string)) "atomic counter variant is clean" [] (rules_of "t1_clean.ml")
+
+(* The service's mailbox seam: draining a toplevel [Ftr_svc.Mailbox.t]
+   from pool workers is sanctioned (the round barrier sequences posts
+   and drains), while the structurally identical [Queue.t] handoff in
+   the same file must still fire. *)
+let test_t1_mailbox_seam () =
+  (match fixture_findings "t1_mailbox.ml" with
+  | [] -> Alcotest.fail "expected a T1 finding on the Queue.t twin in t1_mailbox.ml"
+  | fs ->
+      List.iter
+        (fun ((f : Finding.t), _) ->
+          Alcotest.(check string) "rule is T1" "T1" (Finding.rule_id f.rule);
+          Alcotest.(check bool) "names the queue, not the mailbox" true
+            (contains f.message "queue" && not (contains f.message "T1_mailbox.mailbox")))
+        fs)
 
 let test_t1_invisible_to_syntactic () =
   let path = Filename.concat (Lazy.force root) "test/lint_fixture/t1_race.ml" in
@@ -200,6 +215,7 @@ let () =
           Alcotest.test_case "fixture corpus loads" `Quick test_corpus;
           Alcotest.test_case "T1 domain-race" `Quick test_t1;
           Alcotest.test_case "T1 race invisible to R1-R5" `Quick test_t1_invisible_to_syntactic;
+          Alcotest.test_case "T1 mailbox seam sanctioned" `Quick test_t1_mailbox_seam;
           Alcotest.test_case "T2 nondeterminism-taint" `Quick test_t2;
           Alcotest.test_case "T3 typed-polymorphic-comparison" `Quick test_t3;
           Alcotest.test_case "T4 typed-hot-path-allocation" `Quick test_t4;

@@ -300,6 +300,36 @@ let events_env_sink () =
   | Some (Json.Int 3) -> ()
   | _ -> Alcotest.fail "with_buffer did not capture the bracketed event"
 
+(* The exit hook entry points install: a programmatic channel sink gets
+   its tail flushed by the same [flush_sink] the hook runs, and the hook
+   installs exactly once however often it is requested. The at_exit
+   behaviour itself can't be observed inside the test process, so the
+   test drives [flush_sink] directly — the hook is just [at_exit] around
+   it. *)
+let events_exit_flush () =
+  Flag.with_mode true @@ fun () ->
+  Events.reset ();
+  Events.set_sampling ~every:1;
+  let path = Filename.temp_file "ftr_obs_exitflush" ".jsonl" in
+  let oc = open_out path in
+  Events.set_sink (Some (Events.To_channel oc));
+  let finally () =
+    Events.set_sink None;
+    close_out_noerr oc;
+    Sys.remove path
+  in
+  Fun.protect ~finally @@ fun () ->
+  Events.install_exit_flush ();
+  Events.install_exit_flush ();
+  (* idempotent: still one hook *)
+  Events.emit ~kind:"exit_flush" [ ("n", Json.Int 1) ];
+  Events.emit ~kind:"exit_flush" [ ("n", Json.Int 2) ];
+  Events.flush_sink ();
+  let lines =
+    List.filter (fun l -> l <> "") (In_channel.with_open_text path In_channel.input_lines)
+  in
+  Alcotest.(check int) "both events on disk after the flush" 2 (List.length lines)
+
 let events_off_without_sink () =
   Flag.with_mode true @@ fun () ->
   Events.reset ();
@@ -689,6 +719,7 @@ let () =
           (* must precede any set_sink: an explicit installation
              permanently outranks the FTR_OBS_SINK redirect *)
           quick "env sink redirect and precedence" events_env_sink;
+          quick "exit hook flushes programmatic channel sinks" events_exit_flush;
           quick "silent without sink" events_off_without_sink;
         ] );
       ( "overhead",
