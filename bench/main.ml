@@ -1257,6 +1257,162 @@ let run_route_throughput () =
   Printf.printf "[route] wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Scale: compact CSR footprint, streaming build, batch routing        *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate for the int32/Bigarray core: per network size, streaming
+   construction throughput, bytes/node against the 8-byte int-array
+   baseline the refactor replaced, batch route throughput on the exec
+   pool, jobs-invariance of the merged outcome vector (--jobs 1/2/4 and
+   FTR_EXEC_SEQ=1 must agree byte for byte), and snapshot save + mmap
+   load round-trip timing. One JSON row per size lands in
+   BENCH_scale.json (docs/MEMORY_LAYOUT.md). *)
+let run_scale () =
+  let module Route_batch = Ftr_core.Route_batch in
+  let module Snapshot = Ftr_core.Snapshot in
+  let module Csr = Ftr_graph.Adjacency.Csr in
+  let sizes =
+    if smoke then [ 1 lsl 14 ]
+    else if full then [ 1 lsl 16; 1 lsl 18; 1 lsl 20; 1 lsl 22 ]
+    else [ 1 lsl 16; 1 lsl 18; 1 lsl 20 ]
+  in
+  let links = 8 in
+  let messages = if smoke then 4_000 else 20_000 in
+  section
+    (Printf.sprintf
+       "SCALE — int32 CSR core: streaming build, footprint, batch routing\n\
+        (links=%d, %d messages per size; sizes up to n=%d)" links messages
+       (List.fold_left max 0 sizes));
+  let obs_was = Ftr_obs.Flag.enabled () in
+  Ftr_obs.Flag.set_mode false;
+  Fun.protect ~finally:(fun () -> Ftr_obs.Flag.set_mode obs_was) @@ fun () ->
+  let json_rows = ref [] in
+  List.iter
+    (fun n ->
+      subsection (Printf.sprintf "n = %d" n);
+      let rng = Rng.of_int (seed + n) in
+      let t0 = Unix.gettimeofday () in
+      let net = Network.build_ideal ~n ~links (Rng.split rng) in
+      let build_dt = Unix.gettimeofday () -. t0 in
+      let edges = Csr.edge_count (Network.csr net) in
+      (* Footprint accounting: positions (n) + offsets (n+1) + targets (E)
+         at 4 bytes/word, against the same vectors as 8-byte OCaml ints —
+         the pre-refactor representation. *)
+      let words = n + (n + 1) + edges in
+      let bytes_int32 = 4 * words and bytes_int_array = 8 * words in
+      let per_node b = float_of_int b /. float_of_int n in
+      let ratio = per_node bytes_int32 /. per_node bytes_int_array in
+      Printf.printf "build: %.3f s (%.0f nodes/s), %d edges\n" build_dt
+        (float_of_int n /. build_dt) edges;
+      Printf.printf "footprint: %.1f bytes/node (int-array baseline %.1f, ratio %.2f)\n"
+        (per_node bytes_int32) (per_node bytes_int_array) ratio;
+      (* Batch routing: healthy Terminate for throughput; the identity
+         check below re-routes the same pairs under failures with the
+         seeded Random_reroute strategy, the case where per-route rng
+         derivation could diverge across schedules. *)
+      let pair_rng = Rng.of_int (seed + 79) in
+      let pairs =
+        Array.init messages (fun _ -> (Rng.int pair_rng n, Rng.int pair_rng n))
+      in
+      let time_batch ~jobs =
+        let t0 = Unix.gettimeofday () in
+        let outcomes = Route_batch.run ~jobs net ~pairs in
+        let dt = Unix.gettimeofday () -. t0 in
+        let hops = Array.fold_left (fun acc o -> acc + Route.hops o) 0 outcomes in
+        (float_of_int hops /. dt, outcomes)
+      in
+      let hps1, _ = time_batch ~jobs:1 in
+      let jobs = Ftr_exec.Pool.default_jobs () in
+      let hps, _ = time_batch ~jobs in
+      Printf.printf "batch route: %12.0f hops/s (jobs=1)  %12.0f hops/s (jobs=%d)\n" hps1
+        hps jobs;
+      let mask =
+        Ftr_core.Failure.random_node_fraction (Rng.split rng) ~n ~fraction:0.3
+      in
+      let failures = Ftr_core.Failure.of_node_mask mask in
+      let alive = Ftr_graph.Bitset.get mask in
+      let live_rng = Rng.of_int (seed + 81) in
+      let rec live () =
+        let v = Rng.int live_rng n in
+        if alive v then v else live ()
+      in
+      let live_pairs = Array.init messages (fun _ -> (live (), live ())) in
+      let strategy = Route.Random_reroute { attempts = 3 } in
+      let reroute ~jobs =
+        Route_batch.run ~jobs ~failures ~strategy ~seed:(seed + 80) net
+          ~pairs:live_pairs
+      in
+      let reference = reroute ~jobs:1 in
+      let identical = ref true in
+      List.iter (fun j -> if reroute ~jobs:j <> reference then identical := false) [ 2; 4 ];
+      (* Same grid forced through the sequential fallback. *)
+      let saved_seq = Sys.getenv_opt "FTR_EXEC_SEQ" in
+      Unix.putenv "FTR_EXEC_SEQ" "1";
+      Fun.protect ~finally:(fun () ->
+          Unix.putenv "FTR_EXEC_SEQ" (Option.value saved_seq ~default:"0"))
+      @@ fun () ->
+      if reroute ~jobs:4 <> reference then identical := false;
+      Printf.printf "jobs 1/2/4 + FTR_EXEC_SEQ=1 merged outcomes identical: %b\n" !identical;
+      (* Snapshot round trip through a scratch file: save, then the mmap
+         load the CLI serves from. *)
+      let snap = Filename.temp_file "ftr_scale" ".ftrsnap" in
+      Fun.protect ~finally:(fun () -> try Sys.remove snap with Sys_error _ -> ()) @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      Snapshot.save net ~path:snap;
+      let save_dt = Unix.gettimeofday () -. t0 in
+      let t0 = Unix.gettimeofday () in
+      let reloaded = Snapshot.load ~path:snap () in
+      let load_dt = Unix.gettimeofday () -. t0 in
+      let snap_bytes = (Unix.stat snap).Unix.st_size in
+      if Network.size reloaded <> n then failwith "scale: snapshot round-trip lost nodes";
+      Printf.printf "snapshot: %d bytes, save %.3f s, mmap load %.3f s\n%!" snap_bytes
+        save_dt load_dt;
+      json_rows :=
+        ( n, edges, build_dt, per_node bytes_int32, per_node bytes_int_array, ratio, hps1,
+          hps, jobs, !identical, snap_bytes, save_dt, load_dt )
+        :: !json_rows)
+    sizes;
+  let open Ftr_obs.Json in
+  let report =
+    Obj
+      [
+        ("links", Int links);
+        ("messages", Int messages);
+        ("full_scale", Bool full);
+        ("smoke", Bool smoke);
+        ( "sizes",
+          List
+            (List.rev_map
+               (fun ( n, edges, build_dt, bpn, bpn_base, ratio, hps1, hps, jobs, identical,
+                      snap_bytes, save_dt, load_dt ) ->
+                 Obj
+                   [
+                     ("n", Int n);
+                     ("edges", Int edges);
+                     ("build_seconds", Float build_dt);
+                     ("build_nodes_per_second", Float (float_of_int n /. build_dt));
+                     ("bytes_per_node_int32", Float bpn);
+                     ("bytes_per_node_int_array", Float bpn_base);
+                     ("footprint_ratio", Float ratio);
+                     ("batch_hops_per_second_jobs1", Float hps1);
+                     ("batch_hops_per_second", Float hps);
+                     ("jobs", Int jobs);
+                     ("outcomes_identical_across_jobs", Bool identical);
+                     ("snapshot_bytes", Int snap_bytes);
+                     ("snapshot_save_seconds", Float save_dt);
+                     ("snapshot_load_seconds", Float load_dt);
+                   ])
+               !json_rows) );
+      ]
+  in
+  let path = "BENCH_scale.json" in
+  let oc = open_out path in
+  output_string oc (to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[scale] wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Flight-recorder overhead                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1425,6 +1581,7 @@ let () =
   run_section "bench.figure7" run_figure7;
   run_section "bench.table1" run_table1;
   run_section "bench.route" run_route_throughput;
+  run_section "bench.scale" run_scale;
   run_section "bench.tracing" run_tracing;
   run_section "bench.exec" run_exec;
   run_section "bench.serve" run_serve;

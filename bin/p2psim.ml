@@ -889,6 +889,9 @@ let check_cmd =
     (* Exec subsystem: merged sweep results must not depend on the worker
        count, and per-job streams must be distinct and root-free. *)
     report "exec: deterministic merge" (Check.exec ~seed ());
+    (* Snapshot subsystem: save/load round-trip fidelity in both mmap and
+       copy modes, plus rejection of every corrupted-file variant. *)
+    report "snapshot: round-trip" (Check.snapshot ~seed ());
     (* Service subsystem: a churny serve run must leave conservation,
        ring sanity and every mailbox invariant intact. *)
     let svc_cfg =
@@ -1411,6 +1414,150 @@ let serve_cmd =
       $ crash_rate_t $ leave_rate_t $ stabilize_t $ ttl_t $ jobs_t $ shards_t $ json_t
       $ transcript_t $ explain_t $ no_wall_t $ selfcheck_t)
 
+(* snapshot *)
+
+let snapshot_cmd =
+  let module Snapshot = Ftr_core.Snapshot in
+  let module Route_batch = Ftr_core.Route_batch in
+  (* A bad file must exit 1 with the defect named, never a backtrace. *)
+  let or_die f =
+    match f () with
+    | v -> v
+    | exception Snapshot.Corrupt msg ->
+        Printf.eprintf "snapshot error: %s\n" msg;
+        exit 1
+    | exception Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "snapshot error: %s: %s\n" arg (Unix.error_message e);
+        exit 1
+  in
+  let path_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATH" ~doc:"Snapshot file (conventionally .ftrsnap).")
+  in
+  let geometry_label = function Network.Line -> "line" | Network.Circle -> "circle" in
+  let print_info ~json (i : Snapshot.info) =
+    if json then
+      let open Ftr_obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("version", Int i.Snapshot.version);
+                ("geometry", String (geometry_label i.Snapshot.geometry));
+                ("line_size", Int i.Snapshot.line_size);
+                ("nodes", Int i.Snapshot.nodes);
+                ("edges", Int i.Snapshot.edges);
+                ("links", Int i.Snapshot.links);
+                ("file_bytes", Int i.Snapshot.file_bytes);
+              ]))
+    else
+      Printf.printf "snapshot v%d: %d nodes on a %d-point %s, %d edges (l=%d), %d bytes\n"
+        i.Snapshot.version i.Snapshot.nodes i.Snapshot.line_size
+        (geometry_label i.Snapshot.geometry)
+        i.Snapshot.edges i.Snapshot.links i.Snapshot.file_bytes
+  in
+  let save_cmd =
+    let run n links seed ring path =
+      let links = resolve_links n links in
+      let rng = Rng.of_int seed in
+      let net =
+        if ring then Network.build_ring ~n ~links rng else Network.build_ideal ~n ~links rng
+      in
+      or_die (fun () -> Snapshot.save net ~path);
+      print_info ~json:false (or_die (fun () -> Snapshot.info ~path))
+    in
+    let ring_t =
+      Arg.(value & flag & info [ "ring" ] ~doc:"Build the circle network instead of the line.")
+    in
+    Cmd.v
+      (Cmd.info "save" ~doc:"Build a network and write it as an mmap-able snapshot")
+      Term.(const run $ n_t 65536 $ links_t $ seed_t $ ring_t $ path_t)
+  in
+  let info_cmd =
+    let run json path = print_info ~json (or_die (fun () -> Snapshot.info ~path)) in
+    Cmd.v
+      (Cmd.info "info" ~doc:"Decode and verify a snapshot header without loading the payload")
+      Term.(const run $ json_t $ path_t)
+  in
+  let load_cmd =
+    let run copy no_verify messages jobs seed json path =
+      let net =
+        or_die (fun () -> Snapshot.load ~mmap:(not copy) ~validate:(not no_verify) ~path ())
+      in
+      let n = Network.size net in
+      if not json then
+        Printf.printf "loaded %d nodes, %d edges (%s, %s)\n" n
+          (Ftr_graph.Adjacency.Csr.edge_count (Network.csr net))
+          (if copy then "copied" else "mmap")
+          (if no_verify then "unverified" else "verified");
+      if messages > 0 then begin
+        (* Smoke routing straight off the mapped file: uniform random
+           pairs, batched over the exec pool. *)
+        let rng = Rng.of_int seed in
+        let pairs =
+          Array.init messages (fun _ ->
+              let src = Rng.int rng n in
+              let rec draw () =
+                let d = Rng.int rng n in
+                if d = src then draw () else d
+              in
+              (src, draw ()))
+        in
+        let outcomes = Route_batch.run ?jobs net ~pairs in
+        let delivered = ref 0 and hops = ref 0 in
+        Array.iter
+          (fun o ->
+            if Route.delivered o then incr delivered;
+            hops := !hops + Route.hops o)
+          outcomes;
+        if json then
+          let open Ftr_obs.Json in
+          print_endline
+            (to_string
+               (Obj
+                  [
+                    ("nodes", Int n);
+                    ("messages", Int messages);
+                    ("delivered", Int !delivered);
+                    ("total_hops", Int !hops);
+                  ]))
+        else
+          Printf.printf "routed %d messages: %d delivered, %.2f mean hops\n" messages !delivered
+            (float_of_int !hops /. float_of_int messages)
+      end
+    in
+    let copy_t =
+      Arg.(
+        value & flag
+        & info [ "copy" ] ~doc:"Copy the payload into fresh memory instead of mmap views.")
+    in
+    let no_verify_t =
+      Arg.(
+        value & flag
+        & info [ "no-verify" ]
+            ~doc:"Skip the full structural validation (header and frame checks still run).")
+    in
+    let messages_t =
+      Arg.(
+        value & opt int 0
+        & info [ "messages" ] ~docv:"M" ~doc:"Route M random messages off the loaded network.")
+    in
+    let jobs_t =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "jobs" ] ~docv:"J" ~doc:"Worker domains for batch routing.")
+    in
+    Cmd.v
+      (Cmd.info "load" ~doc:"Load a snapshot (mmap by default) and optionally smoke-route it")
+      Term.(const run $ copy_t $ no_verify_t $ messages_t $ jobs_t $ seed_t $ json_t $ path_t)
+  in
+  Cmd.group
+    (Cmd.info "snapshot" ~doc:"Save, inspect and load mmap-able binary network snapshots")
+    [ save_cmd; info_cmd; load_cmd ]
+
 let () =
   Ftr_obs.Events.install_exit_flush ();
   let info =
@@ -1437,4 +1584,5 @@ let () =
             check_cmd;
             sweep_cmd;
             serve_cmd;
+            snapshot_cmd;
           ]))

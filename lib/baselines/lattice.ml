@@ -1,5 +1,6 @@
 module Torus = Ftr_metric.Torus
 module Csr = Ftr_graph.Adjacency.Csr
+module I32 = Ftr_graph.Adjacency.I32
 
 type t = {
   torus : Torus.t;
@@ -30,9 +31,9 @@ let route ?(max_hops = 100_000_000) t ~src ~dst =
       let cd = Torus.distance t.torus cur dst in
       (* First neighbour (in [Torus.neighbors] order) strictly closer. *)
       let next = ref (-1) in
-      let k = ref offsets.(cur) in
-      while !next < 0 && !k < offsets.(cur + 1) do
-        let v = targets.(!k) in
+      let k = ref (I32.get offsets cur) in
+      while !next < 0 && !k < I32.get offsets (cur + 1) do
+        let v = I32.get targets !k in
         if Torus.distance t.torus v dst < cd then next := v;
         incr k
       done;

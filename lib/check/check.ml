@@ -70,13 +70,14 @@ let mem_sorted ns x =
    replay below asks this once per hop, and the flat form answers without
    copying the row the way [Network.neighbors] now does. *)
 let mem_link net u x =
+  let module I32 = Ftr_graph.Adjacency.I32 in
   let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
-  let lo = ref offsets.(u) and hi = ref offsets.(u + 1) in
+  let lo = ref (I32.get offsets u) and hi = ref (I32.get offsets (u + 1)) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if targets.(mid) < x then lo := mid + 1 else hi := mid
+    if I32.get targets mid < x then lo := mid + 1 else hi := mid
   done;
-  !lo < offsets.(u + 1) && targets.(!lo) = x
+  !lo < I32.get offsets (u + 1) && I32.get targets !lo = x
 
 let network ?expected_links ?(multi_edges = `Allowed) ?(ring = Both_sides) net =
   let out = ref [] in
@@ -147,49 +148,52 @@ let network ?expected_links ?(multi_edges = `Allowed) ?(ring = Both_sides) net =
    fails fast on the frame invariants at construction time; this validator
    is the exhaustive after-the-fact battery form. *)
 let csr net =
+  let module I32 = Ftr_graph.Adjacency.I32 in
   let out = ref [] in
   let emit x = out := x :: !out in
   let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
   let n = Network.size net in
-  if Array.length offsets <> n + 1 then
+  if I32.length offsets <> n + 1 then
     emit (violation "csr.offsets-length" "offsets"
-            "length %d, expected n+1 = %d" (Array.length offsets) (n + 1));
-  if Array.length offsets > 0 && offsets.(0) <> 0 then
-    emit (violation "csr.offsets-start" "offsets" "offsets.(0) = %d, expected 0" offsets.(0));
-  for i = 0 to min n (Array.length offsets - 1) - 1 do
-    if offsets.(i + 1) < offsets.(i) then
+            "length %d, expected n+1 = %d" (I32.length offsets) (n + 1));
+  if I32.length offsets > 0 && I32.get offsets 0 <> 0 then
+    emit (violation "csr.offsets-start" "offsets" "offsets.(0) = %d, expected 0"
+            (I32.get offsets 0));
+  for i = 0 to min n (I32.length offsets - 1) - 1 do
+    if I32.get offsets (i + 1) < I32.get offsets i then
       emit (violation "csr.offsets-monotone" (Printf.sprintf "node %d" i)
               "offsets.(%d) = %d decreases from offsets.(%d) = %d" (i + 1)
-              offsets.(i + 1) i offsets.(i))
+              (I32.get offsets (i + 1)) i (I32.get offsets i))
   done;
-  if Array.length offsets = n + 1 && offsets.(n) <> Array.length targets then
+  if I32.length offsets = n + 1 && I32.get offsets n <> I32.length targets then
     emit (violation "csr.edge-count" "offsets"
-            "offsets.(n) = %d but targets has %d entries" offsets.(n) (Array.length targets));
-  Array.iteri
-    (fun k v ->
-      if v < 0 || v >= n then
-        emit (violation "csr.target-range" (Printf.sprintf "slot %d" k)
-                "target %d outside [0,%d)" v n))
-    targets;
-  if Array.length offsets = n + 1 then
+            "offsets.(n) = %d but targets has %d entries" (I32.get offsets n)
+            (I32.length targets));
+  for k = 0 to I32.length targets - 1 do
+    let v = I32.get targets k in
+    if v < 0 || v >= n then
+      emit (violation "csr.target-range" (Printf.sprintf "slot %d" k)
+              "target %d outside [0,%d)" v n)
+  done;
+  if I32.length offsets = n + 1 then
     for i = 0 to n - 1 do
-      for k = offsets.(i) + 1 to offsets.(i + 1) - 1 do
-        if k > 0 && k < Array.length targets && targets.(k - 1) > targets.(k) then
+      for k = I32.get offsets i + 1 to I32.get offsets (i + 1) - 1 do
+        if k > 0 && k < I32.length targets && I32.get targets (k - 1) > I32.get targets k then
           emit (violation "csr.row-unsorted" (Printf.sprintf "node %d" i)
                   "row entries at slots %d,%d out of order (%d > %d)" (k - 1) k
-                  targets.(k - 1) targets.(k))
+                  (I32.get targets (k - 1)) (I32.get targets k))
       done;
       let row = Network.neighbors net i in
-      let deg = offsets.(i + 1) - offsets.(i) in
+      let deg = I32.get offsets (i + 1) - I32.get offsets i in
       if Array.length row <> deg then
         emit (violation "csr.shim-divergence" (Printf.sprintf "node %d" i)
                 "neighbors returns %d entries, CSR row has %d" (Array.length row) deg)
       else
         for k = 0 to deg - 1 do
-          if row.(k) <> targets.(offsets.(i) + k) then
+          if row.(k) <> I32.get targets (I32.get offsets i + k) then
             emit (violation "csr.shim-divergence" (Printf.sprintf "node %d" i)
                     "neighbors entry %d is %d, CSR row holds %d" k row.(k)
-                    targets.(offsets.(i) + k))
+                    (I32.get targets (I32.get offsets i + k)))
         done
     done;
   List.rev !out
@@ -793,4 +797,108 @@ let service (svc : Ftr_svc.Service.t) =
              v.S.av_mail_high_water v.S.av_mail_capacity);
       if not v.S.av_mail_well_ordered then
         emit (violation "svc.mailbox-order" subject "entries are not in delivery order"));
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot subsystem (Ftr_core.Snapshot): mmap-able network files      *)
+(* ------------------------------------------------------------------ *)
+
+(* Round-trip fidelity and corruption rejection in one battery section.
+   A snapshot that loads is trusted byte-for-byte by the router (the CSR
+   invariants are what make the unsafe reads safe), so the section checks
+   both directions: a saved network must come back identical in both load
+   modes, and every corrupted variant — truncated, bad magic, wrong
+   version, foreign endianness, out-of-range payload, trailing bytes —
+   must be refused with [Snapshot.Corrupt], never accepted or crashed. *)
+let snapshot ?(seed = 0x5A9) () =
+  let module Snapshot = Ftr_core.Snapshot in
+  let module I32 = Ftr_graph.Adjacency.I32 in
+  let module Csr = Ftr_graph.Adjacency.Csr in
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let rng = Rng.of_int seed in
+  let net = Network.build_ideal ~n:192 ~links:3 rng in
+  let path = Filename.temp_file "ftr_check_snapshot" ".ftrsnap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Snapshot.save net ~path;
+  let compare_loaded label net' =
+    if Network.geometry net' <> Network.geometry net then
+      emit (violation "snapshot.roundtrip" label "geometry changed across the round-trip");
+    if Network.line_size net' <> Network.line_size net then
+      emit
+        (violation "snapshot.roundtrip" label "line_size %d, expected %d"
+           (Network.line_size net') (Network.line_size net));
+    if Network.links net' <> Network.links net then
+      emit
+        (violation "snapshot.roundtrip" label "links %d, expected %d" (Network.links net')
+           (Network.links net));
+    if not (I32.equal (Network.positions net') (Network.positions net)) then
+      emit (violation "snapshot.roundtrip" label "positions differ");
+    if not (Csr.equal (Network.csr net') (Network.csr net)) then
+      emit (violation "snapshot.roundtrip" label "CSR adjacency differs");
+    (* Outcome fidelity: the loaded network must route exactly like the
+       original (structural equality should imply it; this catches any
+       accessor reading through the wrong layer). *)
+    for i = 0 to 7 do
+      let src = (i * 37) mod Network.size net
+      and dst = (i * 91) mod Network.size net in
+      if src <> dst then begin
+        let o = Route.route net ~src ~dst and o' = Route.route net' ~src ~dst in
+        if o <> o' then
+          emit
+            (violation "snapshot.route-divergence" label "route %d->%d differs after reload" src
+               dst)
+      end
+    done
+  in
+  (match Snapshot.load ~path () with
+  | net' -> compare_loaded "mmap load" net'
+  | exception Snapshot.Corrupt msg ->
+      emit (violation "snapshot.rejects-valid" "mmap load" "refused a valid snapshot: %s" msg));
+  (match Snapshot.load ~mmap:false ~path () with
+  | net' -> compare_loaded "copy load" net'
+  | exception Snapshot.Corrupt msg ->
+      emit (violation "snapshot.rejects-valid" "copy load" "refused a valid snapshot: %s" msg));
+  (match Snapshot.info ~path with
+  | i ->
+      if i.Snapshot.nodes <> Network.size net then
+        emit
+          (violation "snapshot.info" "info" "node count %d, expected %d" i.Snapshot.nodes
+             (Network.size net))
+  | exception Snapshot.Corrupt msg ->
+      emit (violation "snapshot.rejects-valid" "info" "refused a valid snapshot: %s" msg));
+  (* Corruption matrix: every variant must raise [Corrupt]. *)
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  let corrupt_path = Filename.temp_file "ftr_check_snapshot_bad" ".ftrsnap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove corrupt_path with Sys_error _ -> ())
+  @@ fun () ->
+  let expect_rejected label contents =
+    Out_channel.with_open_bin corrupt_path (fun oc -> Out_channel.output_string oc contents);
+    match Snapshot.load ~path:corrupt_path () with
+    | _ ->
+        emit (violation "snapshot.accepts-corrupt" label "corrupted file loaded without error")
+    | exception Snapshot.Corrupt _ -> ()
+    | exception e ->
+        emit
+          (violation "snapshot.wrong-exception" label "raised %s instead of Corrupt"
+             (Printexc.to_string e))
+  in
+  let patched off f =
+    let b = Bytes.of_string original in
+    f b off;
+    Bytes.to_string b
+  in
+  expect_rejected "empty file" "";
+  expect_rejected "truncated header" (String.sub original 0 40);
+  expect_rejected "truncated payload" (String.sub original 0 (String.length original - 8));
+  expect_rejected "trailing garbage" (original ^ "junk");
+  expect_rejected "bad magic" (patched 0 (fun b off -> Bytes.set b off 'X'));
+  expect_rejected "wrong version" (patched 12 (fun b off -> Bytes.set_int32_ne b off 99l));
+  expect_rejected "foreign endianness"
+    (patched 8 (fun b off -> Bytes.set_int32_ne b off 0x0D0C0B0Al));
+  expect_rejected "out-of-range target"
+    (patched
+       (String.length original - 4)
+       (fun b off -> Bytes.set_int32_ne b off Int32.max_int));
   List.rev !out

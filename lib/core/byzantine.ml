@@ -37,17 +37,18 @@ let route_misroute ?(max_hops = 1_000) net ~byzantine ~src ~dst =
     invalid_arg "Byzantine.route_misroute: endpoint is Byzantine";
   let dist v = Network.distance net v dst in
   let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  let module I32 = Ftr_graph.Adjacency.I32 in
   let rec go cur h sabotaged =
     if cur = dst then Delivered { hops = h; wasted = sabotaged }
     else if h >= max_hops then Failed { hops = h; wasted = sabotaged }
     else if byzantine cur then begin
       (* Sabotage: hand the message to the worst neighbour. *)
-      if offsets.(cur + 1) = offsets.(cur) then
+      if I32.get offsets (cur + 1) = I32.get offsets cur then
         invalid_arg "Byzantine.route_misroute: node has no neighbours";
-      let first = targets.(offsets.(cur)) in
+      let first = I32.get targets (I32.get offsets cur) in
       let worst = ref first and worst_d = ref (dist first) in
-      for k = offsets.(cur) to offsets.(cur + 1) - 1 do
-        let v = targets.(k) in
+      for k = I32.get offsets cur to I32.get offsets (cur + 1) - 1 do
+        let v = I32.get targets k in
         let d = dist v in
         if d > !worst_d then begin
           worst := v;
@@ -60,8 +61,8 @@ let route_misroute ?(max_hops = 1_000) net ~byzantine ~src ~dst =
       (* Honest greedy step. *)
       let cur_d = dist cur in
       let best = ref (-1) and best_d = ref cur_d in
-      for k = offsets.(cur) to offsets.(cur + 1) - 1 do
-        let v = targets.(k) in
+      for k = I32.get offsets cur to I32.get offsets (cur + 1) - 1 do
+        let v = I32.get targets k in
         let d = dist v in
         if d < !best_d then begin
           best := v;
@@ -80,16 +81,17 @@ let route ?(defense = Naive) ?(max_hops = 1_000_000) net ~byzantine ~src ~dst =
   (* Tried links keyed by their CSR slot — a flat int key per (node, idx)
      pair, so membership is one hash probe instead of a List.mem walk. *)
   let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
+  let module I32 = Ftr_graph.Adjacency.I32 in
   let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  let record cur idx = Hashtbl.replace tried (offsets.(cur) + idx) () in
+  let record cur idx = Hashtbl.replace tried (I32.get offsets cur + idx) () in
   let dist v = Network.distance net v dst in
   (* Senders cannot see who is Byzantine, so candidates include them. *)
   let best ~any cur =
     let limit = if any then max_int else dist cur in
-    let base = offsets.(cur) in
+    let base = I32.get offsets cur in
     let best = ref (-1) and best_idx = ref (-1) and best_d = ref limit in
-    for k = 0 to offsets.(cur + 1) - base - 1 do
-      let v = targets.(base + k) in
+    for k = 0 to I32.get offsets (cur + 1) - base - 1 do
+      let v = I32.get targets (base + k) in
       if not (Hashtbl.mem tried (base + k)) then begin
         let d = dist v in
         if d < !best_d then begin

@@ -1,8 +1,9 @@
 module Bitset = Ftr_graph.Bitset
+module I32 = Ftr_graph.Adjacency.I32
 
-type link_mask = { offsets : int array; bits : Bitset.t }
+type link_mask = { offsets : I32.t; bits : Bitset.t }
 
-let link_mask_alive m ~src ~idx = Bitset.get m.bits (m.offsets.(src) + idx)
+let link_mask_alive m ~src ~idx = Bitset.get m.bits (I32.get m.offsets src + idx)
 
 (* The hot routing loop wants to test a bit, not call a closure; the views
    below expose the concrete masks behind the two common failure models so
@@ -46,12 +47,12 @@ let random_link_mask rng net ~present_p =
     invalid_arg "Failure.random_link_mask: present_p must be in [0,1]";
   let n = Network.size net in
   (* The network's CSR offsets are exactly the per-link slot layout; share
-     the array instead of recomputing it (read-only on both sides). *)
+     the vector instead of recomputing it (read-only on both sides). *)
   let { Ftr_graph.Adjacency.Csr.offsets; targets } = Network.csr net in
-  let bits = Bitset.create offsets.(n) in
+  let bits = Bitset.create (I32.get offsets n) in
   for i = 0 to n - 1 do
-    for k = offsets.(i) to offsets.(i + 1) - 1 do
-      let j = targets.(k) in
+    for k = I32.get offsets i to I32.get offsets (i + 1) - 1 do
+      let j = I32.get targets k in
       (* The links to the nearest neighbour on either side are assumed
          always present (Theorems 15 and 16). *)
       let immediate = j = i - 1 || j = i + 1 in

@@ -1,6 +1,7 @@
 module Torus = Ftr_metric.Torus
 module Sample = Ftr_prng.Sample
 module Csr = Ftr_graph.Adjacency.Csr
+module I32 = Ftr_graph.Adjacency.I32
 
 type t = {
   torus : Torus.t;
@@ -94,10 +95,10 @@ let route ?(alive = fun _ -> true) ?(strategy = Terminate) ?(max_hops = 1_000_00
   let tried : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let best ~any cur =
     let limit = if any then max_int else dist cur in
-    let base = offsets.(cur) in
+    let base = I32.get offsets cur in
     let best = ref (-1) and best_idx = ref (-1) and best_d = ref limit in
-    for k = 0 to offsets.(cur + 1) - base - 1 do
-      let v = targets.(base + k) in
+    for k = 0 to I32.get offsets (cur + 1) - base - 1 do
+      let v = I32.get targets (base + k) in
       if alive v && not (Hashtbl.mem tried (base + k)) then begin
         let d = dist v in
         if d < !best_d then begin
@@ -111,7 +112,7 @@ let route ?(alive = fun _ -> true) ?(strategy = Terminate) ?(max_hops = 1_000_00
   in
   let record cur idx =
     match strategy with
-    | Backtrack _ -> Hashtbl.replace tried (offsets.(cur) + idx) ()
+    | Backtrack _ -> Hashtbl.replace tried (I32.get offsets cur + idx) ()
     | Terminate -> ()
   in
   match strategy with

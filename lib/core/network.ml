@@ -1,26 +1,29 @@
 module Csr = Ftr_graph.Adjacency.Csr
+module I32 = Ftr_graph.Adjacency.I32
 
 type geometry = Line | Circle
 
 (* Neighbour lists live in one flat CSR pair (node [i]'s row is
    [adj.targets.(adj.offsets.(i)) .. adj.targets.(adj.offsets.(i+1)-1)],
    sorted): the routing inner loop scans a contiguous block instead of
-   chasing [n] separately boxed rows. *)
+   chasing [n] separately boxed rows. Positions and the CSR are int32
+   Bigarrays — 4 bytes per entry, unscanned by the GC, and mmap-able from
+   a snapshot file (Snapshot). *)
 type t = {
   geometry : geometry;
   line_size : int; (* number of grid points of the underlying space *)
-  positions : int array;
+  positions : I32.t;
   adj : Csr.t; (* neighbor *indices* into [positions], per-row sorted *)
   links : int;
 }
 
-let size t = Array.length t.positions
+let size t = I32.length t.positions
 
 let line_size t = t.line_size
 
 let links t = t.links
 
-let position t i = t.positions.(i)
+let position t i = I32.get t.positions i
 
 let positions t = t.positions
 
@@ -36,7 +39,7 @@ let csr t = t.adj
 
 let geometry t = t.geometry
 
-let is_full t = Array.length t.positions = t.line_size
+let is_full t = size t = t.line_size
 
 let point_distance t a b =
   match t.geometry with
@@ -45,7 +48,7 @@ let point_distance t a b =
       let d = abs (a - b) in
       min d (t.line_size - d)
 
-let distance t i j = point_distance t t.positions.(i) t.positions.(j)
+let distance t i j = point_distance t (I32.get t.positions i) (I32.get t.positions j)
 
 (* Arc length walking in the increasing direction; the one-sided metric on
    the circle (Chord's orientation). *)
@@ -53,7 +56,7 @@ let clockwise_distance t ~src ~dst =
   match t.geometry with
   | Line -> invalid_arg "Network.clockwise_distance: line networks have no orientation"
   | Circle ->
-      let d = (t.positions.(dst) - t.positions.(src)) mod t.line_size in
+      let d = (I32.get t.positions dst - I32.get t.positions src) mod t.line_size in
       if d < 0 then d + t.line_size else d
 
 (* The quantity greedy routing minimises. Two-sided: the metric distance.
@@ -71,12 +74,14 @@ let one_sided_admissible t ~cur ~v ~dst =
   match t.geometry with
   | Circle -> true
   | Line ->
-      let cur_pos = t.positions.(cur) and v_pos = t.positions.(v) and dst_pos = t.positions.(dst) in
+      let cur_pos = I32.get t.positions cur
+      and v_pos = I32.get t.positions v
+      and dst_pos = I32.get t.positions dst in
       (cur_pos > dst_pos && v_pos >= dst_pos && v_pos < cur_pos)
       || (cur_pos < dst_pos && v_pos <= dst_pos && v_pos > cur_pos)
 
 let nearest_index t ~position =
-  let n = Array.length t.positions in
+  let n = size t in
   if n = 0 then invalid_arg "Network.nearest_index: empty network";
   (* Binary search for the first present position >= position, then compare
      with its predecessor. *)
@@ -84,14 +89,15 @@ let nearest_index t ~position =
     if lo >= hi then lo
     else
       let mid = (lo + hi) / 2 in
-      if t.positions.(mid) >= position then search lo mid else search (mid + 1) hi
+      if I32.get t.positions mid >= position then search lo mid else search (mid + 1) hi
   in
   let i = search 0 n in
   match t.geometry with
   | Line ->
       if i = n then n - 1
       else if i = 0 then 0
-      else if position - t.positions.(i - 1) <= t.positions.(i) - position then i - 1
+      else if position - I32.get t.positions (i - 1) <= I32.get t.positions i - position then
+        i - 1
       else i
   | Circle ->
       (* Candidates wrap: the first and last nodes are adjacent. *)
@@ -99,7 +105,7 @@ let nearest_index t ~position =
       let best = ref (i mod n) and best_d = ref max_int in
       List.iter
         (fun c ->
-          let d = point_distance t t.positions.(c) position in
+          let d = point_distance t (I32.get t.positions c) position in
           if d < !best_d then begin
             best := c;
             best_d := d
@@ -109,7 +115,7 @@ let nearest_index t ~position =
 
 let index_of_position t ~position =
   let i = nearest_index t ~position in
-  if t.positions.(i) = position then Some i else None
+  if I32.get t.positions i = position then Some i else None
 
 let to_adjacency t = Ftr_graph.Adjacency.of_csr t.adj
 
@@ -121,26 +127,29 @@ let to_adjacency t = Ftr_graph.Adjacency.of_csr t.adj
    built network when FTR_CHECK is on; the exhaustive battery with
    per-builder policies lives in Ftr_check.Check. *)
 let debug_validate t =
-  let n = Array.length t.positions in
+  let n = size t in
   let { Csr.offsets; targets } = t.adj in
-  if Array.length offsets <> n + 1 || offsets.(0) <> 0 || offsets.(n) <> Array.length targets
+  if
+    I32.length offsets <> n + 1
+    || I32.get offsets 0 <> 0
+    || I32.get offsets n <> I32.length targets
   then Ftr_debug.Debug.failf "Network: CSR offsets malformed";
   for i = 0 to n - 1 do
-    if offsets.(i + 1) < offsets.(i) then
+    if I32.get offsets (i + 1) < I32.get offsets i then
       Ftr_debug.Debug.failf "Network: CSR offsets decrease at row %d" i;
-    let lo = offsets.(i) and hi = offsets.(i + 1) in
+    let lo = I32.get offsets i and hi = I32.get offsets (i + 1) in
     let contains x =
       let found = ref false in
       for k = lo to hi - 1 do
-        if targets.(k) = x then found := true
+        if I32.get targets k = x then found := true
       done;
       !found
     in
     for k = lo to hi - 1 do
-      let j = targets.(k) in
+      let j = I32.get targets k in
       if j < 0 || j >= n then Ftr_debug.Debug.failf "Network: node %d links to non-node %d" i j;
       if j = i then Ftr_debug.Debug.failf "Network: node %d links to itself" i;
-      if k > lo && targets.(k - 1) > j then
+      if k > lo && I32.get targets (k - 1) > j then
         Ftr_debug.Debug.failf "Network: node %d neighbour list unsorted at entry %d" i (k - lo)
     done;
     match t.geometry with
@@ -159,10 +168,50 @@ let checked t =
   if Ftr_debug.Debug.enabled () then debug_validate t;
   t
 
-(* Every builder assembles per-node rows and hands them here; the CSR
-   flattening is the only place the flat pair is built. *)
+(* Positions 0..n-1: the full-network identity embedding. *)
+let iota_positions n =
+  let a = I32.create n in
+  for i = 0 to n - 1 do
+    I32.unsafe_set a i i
+  done;
+  a
+
+let check_positions ~line_size positions =
+  let n = I32.length positions in
+  for i = 0 to n - 1 do
+    let p = I32.get positions i in
+    if p < 0 || p >= line_size then invalid_arg "Network: position off line";
+    if i > 0 && I32.get positions (i - 1) >= p then
+      invalid_arg "Network: positions must be strictly increasing"
+  done
+
+(* Assemble from already-flat parts — the snapshot loader's entry point.
+   [validate] (default true) runs the full structural check; pass false
+   only for trusted in-process parts (the builders below, which establish
+   the invariants by construction and re-check under FTR_CHECK). *)
+let of_flat ?(validate = true) ~geometry ~line_size ~positions ~adj ~links () =
+  if I32.length positions <> Csr.size adj then
+    invalid_arg "Network.of_flat: positions/adjacency size mismatch";
+  if line_size < I32.length positions then
+    invalid_arg "Network.of_flat: more nodes than grid points";
+  if links < 0 then invalid_arg "Network.of_flat: negative link count";
+  if validate then begin
+    Csr.validate ~sorted:true adj;
+    check_positions ~line_size positions
+  end;
+  checked { geometry; line_size; positions; adj; links }
+
+(* Every jagged builder assembles per-node rows and hands them here; the
+   CSR flattening is the only place the flat pair is built from rows. *)
 let make ~geometry ~line_size ~positions ~rows ~links =
-  checked { geometry; line_size; positions; adj = Csr.of_rows rows; links }
+  checked
+    {
+      geometry;
+      line_size;
+      positions = I32.of_int_array positions;
+      adj = Csr.of_rows rows;
+      links;
+    }
 
 let of_neighbor_indices ?(geometry = Line) ~line_size ~positions ~neighbors ~links () =
   let n = Array.length positions in
@@ -200,11 +249,66 @@ let finish_node ~immediate ~long =
   Array.sort Int.compare arr;
   arr
 
+(* In-place insertion sort of [arr.(0 .. len-1)] — the streaming builder
+   sorts each short row (links + 2 entries) in its reusable scratch array
+   without allocating. Same total order as [Array.sort Int.compare] in
+   [finish_node], so the two build paths emit identical rows. *)
+let sort_prefix arr len =
+  for i = 1 to len - 1 do
+    let x = arr.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && arr.(!j) > x do
+      arr.(!j + 1) <- arr.(!j);
+      decr j
+    done;
+    arr.(!j + 1) <- x
+  done
+
+let check_ideal_args ~who ~n ~links =
+  if n < 2 then invalid_arg (Printf.sprintf "Network.%s: need at least two nodes" who);
+  if links < 0 then invalid_arg (Printf.sprintf "Network.%s: negative link count" who)
+
+(* Streaming construction: one pass over the nodes, each row assembled in a
+   reused scratch array and appended straight to the CSR builder — O(n)
+   with O(links) transient state, never a jagged intermediate. Consumes
+   the RNG in exactly the same order as [build_ideal_materialized], so the
+   two produce byte-identical networks (qcheck-pinned). *)
 let build_ideal ?(exponent = 1.0) ~n ~links rng =
-  if n < 2 then invalid_arg "Network.build_ideal: need at least two nodes";
-  if links < 0 then invalid_arg "Network.build_ideal: negative link count";
+  check_ideal_args ~who:"build_ideal" ~n ~links;
   (* Every builder times its construction phase under a [Ftr_obs.Span]; a
      no-op (beyond the closure) unless FTR_OBS is on. *)
+  Ftr_obs.Span.time "network.build_ideal" @@ fun () ->
+  let pl = Ftr_prng.Sample.power_law ~exponent ~max_length:(n - 1) in
+  let b = Csr.Builder.create ~edges_hint:(n * (links + 2)) ~n () in
+  let scratch = Array.make (links + 2) 0 in
+  for u = 0 to n - 1 do
+    let len = ref 0 in
+    let push v =
+      scratch.(!len) <- v;
+      incr len
+    in
+    if u > 0 then push (u - 1);
+    if u < n - 1 then push (u + 1);
+    for _ = 1 to links do
+      push (sample_long_target pl rng ~n ~src:u)
+    done;
+    sort_prefix scratch !len;
+    Csr.Builder.append_row b scratch ~len:!len
+  done;
+  checked
+    {
+      geometry = Line;
+      line_size = n;
+      positions = iota_positions n;
+      adj = Csr.Builder.finish b;
+      links;
+    }
+
+(* Reference implementation of the ideal builder that materializes every
+   jagged row before flattening — kept as the equivalence oracle for the
+   streaming path (same RNG consumption order, byte-identical output). *)
+let build_ideal_materialized ?(exponent = 1.0) ~n ~links rng =
+  check_ideal_args ~who:"build_ideal_materialized" ~n ~links;
   Ftr_obs.Span.time "network.build_ideal" @@ fun () ->
   let pl = Ftr_prng.Sample.power_law ~exponent ~max_length:(n - 1) in
   let neighbors =

@@ -39,13 +39,15 @@ val position : t -> int -> int
 (** Line position of node index [i]. On full networks this is the
     identity. *)
 
-val positions : t -> int array
-(** The full strictly increasing position array (no copy — do not mutate).
-    [positions t].(i) = [position t i]; exposed, like {!csr}, so hot loops
-    can compute distances without a call per candidate. *)
+val positions : t -> Ftr_graph.Adjacency.I32.t
+(** The full strictly increasing position vector (no copy — do not
+    mutate). [I32.get (positions t) i = position t i]; exposed, like
+    {!csr}, so hot loops can compute distances without a call per
+    candidate. *)
 
 val neighbors : t -> int -> int array
-(** Fresh copy of a node's sorted neighbour-index row. The row is sorted
+(** Debug/test accessor: fresh copy of a node's sorted neighbour-index
+    row. The row is sorted
     non-decreasing; the {b duplicate guarantee} is per builder: the random
     builders ({!build_ideal}, {!build_binomial}, {!build_ring}) keep one
     entry per sampled link, so a row may contain duplicates when several
@@ -120,10 +122,35 @@ val of_neighbor_indices :
     and by tests). Validates ranges and ordering; default geometry is the
     line. @raise Invalid_argument on malformed input. *)
 
+val of_flat :
+  ?validate:bool ->
+  geometry:geometry ->
+  line_size:int ->
+  positions:Ftr_graph.Adjacency.I32.t ->
+  adj:Ftr_graph.Adjacency.Csr.t ->
+  links:int ->
+  unit ->
+  t
+(** Assemble a network from already-flat parts without copying — the
+    snapshot loader's entry point. [validate] (default true) runs the full
+    structural check (CSR invariants with sorted rows, positions strictly
+    increasing and on the grid); pass [false] only for parts produced
+    in-process by a trusted builder.
+    @raise Invalid_argument on malformed input. *)
+
 val build_ideal : ?exponent:float -> n:int -> links:int -> Ftr_prng.Rng.t -> t
 (** Full network of [n] nodes: immediate neighbours plus [links] draws per
     node with Pr[length d] proportional to [1/d^exponent] (default 1, the
-    paper's law). @raise Invalid_argument if [n < 2] or [links < 0]. *)
+    paper's law). Streams rows straight into the CSR builder — O(n) time,
+    O(links) transient state beyond the result itself.
+    @raise Invalid_argument if [n < 2] or [links < 0]. *)
+
+val build_ideal_materialized : ?exponent:float -> n:int -> links:int -> Ftr_prng.Rng.t -> t
+(** Reference implementation of {!build_ideal} that materializes every
+    jagged row before flattening. Consumes the RNG in exactly the same
+    order, so given equal generator states the two produce byte-identical
+    networks — the equivalence is qcheck-pinned in the test suite. Kept as
+    the oracle for the streaming path; prefer {!build_ideal}. *)
 
 val build_binomial :
   ?exponent:float -> n:int -> links:int -> present_p:float -> Ftr_prng.Rng.t -> t

@@ -1,6 +1,7 @@
 (* ftr-lint: hot -- greedy routing inner loop, docs/MEMORY_LAYOUT.md budget applies *)
 
 module Bitset = Ftr_graph.Bitset
+module I32 = Ftr_graph.Adjacency.I32
 
 type side = One_sided | Two_sided
 
@@ -150,10 +151,10 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   in
   let stamps, epoch =
     if tracking then begin
-      if Array.length s.stamps < offsets.(n) then begin
+      if Array.length s.stamps < I32.get offsets n then begin
         (* Scratch carried over from a smaller network: regrow. A fresh
            array is all-zero, which no live epoch ever equals. *)
-        s.stamps <- Array.make offsets.(n) 0;
+        s.stamps <- Array.make (I32.get offsets n) 0;
         s.epoch <- 0
       end;
       s.epoch <- s.epoch + 1;
@@ -190,12 +191,14 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
      (Section 4.2.1) deterministically. Writes the winning
      (index-into-row, node) pair into [found_idx]/[found_node] and returns
      whether one exists. *)
-  (* Unsafe array reads below are justified by construction-time CSR
+  (* Unsafe I32/array reads below are justified by construction-time CSR
      validation ([Adjacency.Csr.validate], re-checked by the Check
      battery): every target is a node index in [0, n), every slot is below
-     [offsets.(n)], and [stamps] is kept at least that long. *)
+     [offsets.(n)], and [stamps] is kept at least that long. The I32 reads
+     are allocation-free: the [Int32.to_int] in the accessor cancels the
+     Bigarray box (see Adjacency.I32). *)
   let dist_to ~dst_pos v =
-    let d = Array.unsafe_get positions v - dst_pos in
+    let d = I32.unsafe_get positions v - dst_pos in
     let d = if d < 0 then -d else d in
     if circle then min d (lsize - d) else d
   in
@@ -205,7 +208,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
      record's allocation, inside [Ftr_obs.Tracing]) costs nothing when the
      recorder is off. *)
   let record_excluded ~cur ~k ~v ~dist =
-    let base = offsets.(cur) in
+    let base = I32.unsafe_get offsets cur in
     let verdict =
       if not (link_all || Failure.link_alive failures ~src:cur ~idx:k) then
         Ftr_obs.Tracing.Dead_link
@@ -222,13 +225,13 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist verdict
   in
   let best_neighbor ~mode ~cur ~dst =
-    let dst_pos = Array.unsafe_get positions dst in
+    let dst_pos = I32.unsafe_get positions dst in
     let cur_dist =
       if two_sided then dist_to ~dst_pos cur
       else Network.routing_distance net ~side:rd ~src:cur ~dst
     in
-    let base = offsets.(cur) in
-    let deg = offsets.(cur + 1) - base in
+    let base = I32.unsafe_get offsets cur in
+    let deg = I32.unsafe_get offsets (cur + 1) - base in
     let limit = match mode with `Strict -> cur_dist | `Any -> max_int in
     let best = ref (-1) and best_idx = ref (-1) and best_dist = ref limit in
     if two_sided && not circle then begin
@@ -247,7 +250,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
       let lo = ref 0 and hi = ref deg in
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
-        if Array.unsafe_get positions (Array.unsafe_get targets (base + mid)) >= dst_pos then
+        if I32.unsafe_get positions (I32.unsafe_get targets (base + mid)) >= dst_pos then
           hi := mid
         else lo := mid + 1
       done;
@@ -256,11 +259,11 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
       while !scanning do
         let dl =
           if !l >= 0 then
-            dst_pos - Array.unsafe_get positions (Array.unsafe_get targets (base + !l))
+            dst_pos - I32.unsafe_get positions (I32.unsafe_get targets (base + !l))
           else max_int
         and dr =
           if !r < deg then
-            Array.unsafe_get positions (Array.unsafe_get targets (base + !r)) - dst_pos
+            I32.unsafe_get positions (I32.unsafe_get targets (base + !r)) - dst_pos
           else max_int
         in
         let take_left = dl <= dr in
@@ -268,7 +271,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
         if d >= limit then scanning := false (* exhausted or no closer candidate left *)
         else begin
           let k = if take_left then !l else !r in
-          let v = Array.unsafe_get targets (base + k) in
+          let v = I32.unsafe_get targets (base + k) in
           let live =
             (link_all || Failure.link_alive failures ~src:cur ~idx:k)
             && (match node_bits with
@@ -291,7 +294,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
     end
     else
       for k = 0 to deg - 1 do
-        let v = Array.unsafe_get targets (base + k) in
+        let v = I32.unsafe_get targets (base + k) in
         let live =
           (link_all || Failure.link_alive failures ~src:cur ~idx:k)
           && (match node_bits with
@@ -340,7 +343,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   in
   let record_tried cur idx =
     match strategy with
-    | Backtrack _ -> stamps.(offsets.(cur) + idx) <- epoch
+    | Backtrack _ -> stamps.(I32.unsafe_get offsets cur + idx) <- epoch
     | Terminate | Random_reroute _ -> ()
   in
   (* Greedy leg toward [target]; stops at the target, at a stuck node, or at

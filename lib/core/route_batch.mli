@@ -1,0 +1,34 @@
+(** Many routes per {!Ftr_exec.Pool} job — the batch layer that turns the
+    single-message router into an aggregate-throughput engine.
+
+    [run] partitions the request vector into fixed-size chunks (a pure
+    function of the pair count, never of the worker count), routes each
+    chunk as one pool job with per-domain scratch, and merges the results
+    in request order. The merged outcome vector is byte-identical across
+    [--jobs 1/2/4] and [FTR_EXEC_SEQ=1]: per-route generators are derived
+    from [(seed, route index)] with {!Ftr_exec.Seed.rng_for}, so no route
+    observes another's randomness regardless of scheduling. *)
+
+val default_chunk : int
+(** Routes per pool job when [?chunk] is omitted (1024). *)
+
+val run :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?failures:Failure.t ->
+  ?side:Route.side ->
+  ?strategy:Route.strategy ->
+  ?max_hops:int ->
+  ?seed:int ->
+  Network.t ->
+  pairs:(int * int) array ->
+  Route.outcome array
+(** [run net ~pairs] routes every [(src, dst)] pair and returns the
+    outcomes in request order. [jobs] defaults to
+    {!Ftr_exec.Pool.default_jobs}; [chunk] (default {!default_chunk})
+    trades scheduling overhead against load balance; [seed] (default 0)
+    feeds the per-route generator derivation used by
+    {!Route.Random_reroute}. Route options mean exactly what they mean on
+    {!Route.route}.
+    @raise Invalid_argument if [chunk < 1] or any endpoint is out of
+    range or dead. *)

@@ -1,0 +1,175 @@
+module I32 = Ftr_graph.Adjacency.I32
+module Csr = Ftr_graph.Adjacency.Csr
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let format_version = 1
+
+let magic = "FTRSNAP1"
+
+(* Written in native order; a foreign-endian writer produces the byteswap
+   of this value, which [check_header] names explicitly. *)
+let endian_tag = 0x0A0B0C0Dl
+
+let endian_tag_swapped = 0x0D0C0B0Al
+
+let header_bytes = 64
+
+(* Header field offsets (see snapshot.mli for the format table). *)
+let off_magic = 0
+let off_endian = 8
+let off_version = 12
+let off_geometry = 16
+let off_line_size = 20
+let off_nodes = 28
+let off_edges = 36
+let off_links = 44
+
+type info = {
+  version : int;
+  geometry : Network.geometry;
+  line_size : int;
+  nodes : int;
+  edges : int;
+  links : int;
+  file_bytes : int;
+}
+
+let payload_words ~nodes ~edges = nodes + (nodes + 1) + edges
+
+let expected_bytes ~nodes ~edges = header_bytes + (4 * payload_words ~nodes ~edges)
+
+let encode_header net =
+  let b = Bytes.make header_bytes '\000' in
+  Bytes.blit_string magic 0 b off_magic (String.length magic);
+  Bytes.set_int32_ne b off_endian endian_tag;
+  Bytes.set_int32_ne b off_version (Int32.of_int format_version);
+  Bytes.set_int32_ne b off_geometry
+    (match Network.geometry net with Network.Line -> 0l | Network.Circle -> 1l);
+  Bytes.set_int64_ne b off_line_size (Int64.of_int (Network.line_size net));
+  Bytes.set_int64_ne b off_nodes (Int64.of_int (Network.size net));
+  Bytes.set_int64_ne b off_edges (Int64.of_int (Csr.edge_count (Network.csr net)));
+  Bytes.set_int32_ne b off_links (Int32.of_int (Network.links net));
+  b
+
+(* Decode and cross-check everything the header claims; every exit is a
+   [Corrupt] with a message naming the defect. [file_bytes] lets the size
+   the header implies be checked against the actual file before any
+   payload access — a truncated file is refused here, never mapped. *)
+let decode_header ~file_bytes b =
+  if Bytes.sub_string b off_magic (String.length magic) <> magic then
+    corrupt "bad magic (not a network snapshot): %S"
+      (Bytes.sub_string b off_magic (String.length magic));
+  let tag = Bytes.get_int32_ne b off_endian in
+  if Int32.equal tag endian_tag_swapped then
+    corrupt "byte order mismatch: snapshot written on an opposite-endian host";
+  if not (Int32.equal tag endian_tag) then
+    corrupt "corrupt endianness tag 0x%08lx" tag;
+  let version = Int32.to_int (Bytes.get_int32_ne b off_version) in
+  if version <> format_version then
+    corrupt "unsupported snapshot version %d (this build reads version %d)" version
+      format_version;
+  let geometry =
+    match Bytes.get_int32_ne b off_geometry with
+    | 0l -> Network.Line
+    | 1l -> Network.Circle
+    | g -> corrupt "invalid geometry tag %ld" g
+  in
+  let int64_field name off =
+    let v = Bytes.get_int64_ne b off in
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int I32.max_value) > 0 then
+      corrupt "%s %Ld outside the int32-indexable range" name v;
+    Int64.to_int v
+  in
+  let line_size = int64_field "line_size" off_line_size in
+  let nodes = int64_field "node count" off_nodes in
+  let edges = int64_field "edge count" off_edges in
+  let links = Int32.to_int (Bytes.get_int32_ne b off_links) in
+  if links < 0 then corrupt "negative link count %d" links;
+  if nodes > line_size then corrupt "%d nodes on a %d-point grid" nodes line_size;
+  let expected = expected_bytes ~nodes ~edges in
+  if file_bytes <> expected then
+    corrupt "file is %d bytes, header implies %d (%s)" file_bytes expected
+      (if file_bytes < expected then "truncated" else "trailing garbage");
+  { version; geometry; line_size; nodes; edges; links; file_bytes }
+
+let write_fully fd b =
+  let len = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd b !sent (len - !sent)
+  done
+
+let read_header fd ~file_bytes =
+  if file_bytes < header_bytes then
+    corrupt "file is %d bytes, smaller than the %d-byte header" file_bytes header_bytes;
+  let b = Bytes.create header_bytes in
+  let got = ref 0 in
+  (try
+     let continue = ref true in
+     while !continue && !got < header_bytes do
+       let r = Unix.read fd b !got (header_bytes - !got) in
+       if r = 0 then continue := false else got := !got + r
+     done
+   with Unix.Unix_error (e, _, _) -> corrupt "header read failed: %s" (Unix.error_message e));
+  if !got < header_bytes then corrupt "short read of header (%d of %d bytes)" !got header_bytes;
+  b
+
+let with_fd path ~flags ~perm f =
+  let fd = Unix.openfile path flags perm in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let map_payload fd ~shared ~words =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int header_bytes) Bigarray.int32 Bigarray.c_layout shared
+       [| words |])
+
+let save net ~path =
+  Ftr_obs.Span.time "snapshot.save" @@ fun () ->
+  let nodes = Network.size net and adj = Network.csr net in
+  let edges = Csr.edge_count adj in
+  with_fd path ~flags:[ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] ~perm:0o644 @@ fun fd ->
+  write_fully fd (encode_header net);
+  (* A shared mapping extends the file to its full size; the three payload
+     sections are then memcpy-speed blits of the in-memory vectors. *)
+  let payload = map_payload fd ~shared:true ~words:(payload_words ~nodes ~edges) in
+  I32.blit (Network.positions net) (I32.sub payload 0 nodes);
+  I32.blit adj.Csr.offsets (I32.sub payload nodes (nodes + 1));
+  if edges > 0 then I32.blit adj.Csr.targets (I32.sub payload ((2 * nodes) + 1) edges)
+
+let info ~path =
+  with_fd path ~flags:[ Unix.O_RDONLY ] ~perm:0 @@ fun fd ->
+  let file_bytes = (Unix.fstat fd).Unix.st_size in
+  decode_header ~file_bytes (read_header fd ~file_bytes)
+
+let load ?(mmap = true) ?(validate = true) ~path () =
+  Ftr_obs.Span.time "snapshot.load" @@ fun () ->
+  with_fd path ~flags:[ Unix.O_RDONLY ] ~perm:0 @@ fun fd ->
+  let file_bytes = (Unix.fstat fd).Unix.st_size in
+  let h = decode_header ~file_bytes (read_header fd ~file_bytes) in
+  let nodes = h.nodes and edges = h.edges in
+  (* shared:false — a private copy-on-write mapping: read-only use serves
+     straight from the page cache, and nothing this process does can write
+     back to the file. *)
+  let payload = map_payload fd ~shared:false ~words:(payload_words ~nodes ~edges) in
+  let view off len = I32.sub payload off len in
+  let copy off len =
+    let a = I32.create len in
+    if len > 0 then I32.blit (view off len) a;
+    a
+  in
+  let slice = if mmap then view else copy in
+  let positions = slice 0 nodes in
+  let offsets = slice nodes (nodes + 1) in
+  let targets = slice ((2 * nodes) + 1) edges in
+  (* Cheap frame checks always run, even with [validate:false]: the two
+     ends of the offsets vector anchor every row bound the router trusts. *)
+  if I32.get offsets 0 <> 0 then corrupt "offsets do not start at 0";
+  if I32.get offsets nodes <> edges then
+    corrupt "offsets end at %d, header claims %d edges" (I32.get offsets nodes) edges;
+  try
+    Network.of_flat ~validate ~geometry:h.geometry ~line_size:h.line_size ~positions
+      ~adj:{ Csr.offsets; targets } ~links:h.links ()
+  with Invalid_argument msg -> corrupt "invalid payload: %s" msg

@@ -1,0 +1,72 @@
+(** Versioned binary network snapshots, mmap-able straight into the
+    working representation.
+
+    A snapshot is a 64-byte header followed by three int32 payload
+    vectors — positions, CSR offsets, CSR targets — in native byte order.
+    Because {!Network} stores exactly these vectors ({!Ftr_graph.Adjacency.I32}
+    Bigarrays), {!load} with [mmap:true] (the default) maps the file
+    read-only (private/copy-on-write) and serves routes out of the page
+    cache without materializing anything: a multi-million-node network
+    "loads" in the time of three [Array1.sub] views. [mmap:false] copies
+    the payload into fresh Bigarrays instead, detaching the network from
+    the file.
+
+    Format v1 (all integers little-endian on this host — the header's
+    endian tag rejects foreign-endian files):
+
+    {v
+    offset  size  field
+    0       8     magic "FTRSNAP1"
+    8       4     endian tag 0x0A0B0C0D, written native
+    12      4     format version (1)
+    16      4     geometry (0 = line, 1 = circle)
+    20      8     line_size
+    28      8     n (node count)
+    36      8     edge count
+    44      4     links (nominal long links per node)
+    48      16    reserved (zero)
+    64      4n    positions
+    64+4n   4(n+1) CSR offsets
+    ...     4E    CSR targets
+    v}
+
+    Corrupt input — truncated files, bad magic, wrong version, foreign
+    endianness, or payload that fails structural validation — raises
+    {!Corrupt} with a message naming the defect; it never crashes or
+    yields silent garbage. *)
+
+exception Corrupt of string
+(** A snapshot file that cannot be trusted: the message names the defect
+    (truncation, bad magic, version/endianness mismatch, invalid
+    structure). *)
+
+val format_version : int
+(** The version this build writes and accepts (1). *)
+
+val save : Network.t -> path:string -> unit
+(** Write the network to [path] (created or truncated). The payload is
+    blitted from the in-memory vectors through a shared mapping — no
+    per-element serialization. *)
+
+val load : ?mmap:bool -> ?validate:bool -> path:string -> unit -> Network.t
+(** Read a snapshot. [mmap] (default true) backs the network by a private
+    read-only mapping of the file; [false] copies into fresh memory.
+    [validate] (default true) runs the full structural check on the
+    payload ({!Ftr_graph.Adjacency.Csr.validate} with sorted rows plus
+    position monotonicity); header sanity and size checks run always.
+    @raise Corrupt on any malformed input. *)
+
+type info = {
+  version : int;
+  geometry : Network.geometry;
+  line_size : int;
+  nodes : int;
+  edges : int;
+  links : int;
+  file_bytes : int;
+}
+
+val info : path:string -> info
+(** Decode just the header (with the same integrity checks, including the
+    declared-size-vs-file-size consistency check).
+    @raise Corrupt on malformed input. *)

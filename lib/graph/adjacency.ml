@@ -1,23 +1,86 @@
-(* Compressed sparse row: the whole edge set in two flat arrays. Row [u] is
-   [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]. The flat layout
-   is the memory representation the routing hot loop scans — one contiguous
-   block instead of [n] separately boxed rows. *)
+(* Compact int32 vectors backing every CSR structure in the tree. A
+   [Bigarray] of int32 halves the footprint of the previous [int array]
+   representation (4 bytes per entry instead of a tagged 8-byte word),
+   lives outside the OCaml heap (the GC never scans it), and — because
+   [Unix.map_file] produces exactly this type — lets a serialized network
+   snapshot be mapped straight into the working representation
+   (Ftr_core.Snapshot). The accessors compose [Int32.to_int] directly with
+   the Bigarray read so the boxed intermediate cancels in cmmgen: reads
+   are allocation-free even without flambda (pinned by the Gc budgets in
+   test_csr.ml). *)
+module I32 = struct
+  type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let max_value = 0x3FFF_FFFF (* conservative: also fits a 32-bit OCaml int *)
+
+  let create n : t = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout n
+
+  let length (a : t) = Bigarray.Array1.dim a
+
+  let[@inline always] unsafe_get (a : t) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+  let[@inline always] get (a : t) i = Int32.to_int (Bigarray.Array1.get a i)
+
+  let set (a : t) i v =
+    if v < 0 || v > max_value then
+      invalid_arg (Printf.sprintf "I32.set: value %d outside the int32 range" v);
+    Bigarray.Array1.set a i (Int32.of_int v)
+
+  (* Unchecked write for producers that have already range-checked. *)
+  let[@inline always] unsafe_set (a : t) i v =
+    Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+  let of_int_array xs =
+    let a = create (Array.length xs) in
+    Array.iteri (fun i v -> set a i v) xs;
+    a
+
+  let to_int_array (a : t) = Array.init (length a) (fun i -> get a i)
+
+  let sub (a : t) off len : t = Bigarray.Array1.sub a off len
+
+  let blit (src : t) (dst : t) = Bigarray.Array1.blit src dst
+
+  let fill (a : t) v = Bigarray.Array1.fill a (Int32.of_int v)
+
+  let equal (a : t) (b : t) =
+    length a = length b
+    &&
+    let ok = ref true in
+    for i = 0 to length a - 1 do
+      if not (Int32.equal (Bigarray.Array1.unsafe_get a i) (Bigarray.Array1.unsafe_get b i))
+      then ok := false
+    done;
+    !ok
+end
+
+(* Compressed sparse row: the whole edge set in two flat int32 vectors.
+   Row [u] is [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]. The
+   flat layout is the memory representation the routing hot loop scans —
+   one contiguous block instead of [n] separately boxed rows — and since
+   the int32/Bigarray refactor it is also byte-identical to the on-disk
+   snapshot payload (docs/MEMORY_LAYOUT.md). *)
 module Csr = struct
-  type t = { offsets : int array; targets : int array }
+  type t = { offsets : I32.t; targets : I32.t }
 
-  let size t = Array.length t.offsets - 1
+  let size t = I32.length t.offsets - 1
 
-  let degree t u = t.offsets.(u + 1) - t.offsets.(u)
+  let degree t u = I32.get t.offsets (u + 1) - I32.get t.offsets u
 
-  let edge_count t = t.offsets.(size t)
+  let edge_count t = I32.get t.offsets (size t)
 
-  let nth t u k = t.targets.(t.offsets.(u) + k)
+  let nth t u k = I32.get t.targets (I32.get t.offsets u + k)
 
-  let row t u = Array.sub t.targets t.offsets.(u) (degree t u)
+  (* Debug/test accessor: copies the row out as an int array — the
+     compatibility view of the pre-Bigarray representation. Warm paths use
+     [iter_row]/[nth] or scan [offsets]/[targets] directly. *)
+  let row t u =
+    let base = I32.get t.offsets u in
+    Array.init (degree t u) (fun k -> I32.get t.targets (base + k))
 
   let iter_row t u f =
-    for k = t.offsets.(u) to t.offsets.(u + 1) - 1 do
-      f t.targets.(k)
+    for k = I32.get t.offsets u to I32.get t.offsets (u + 1) - 1 do
+      f (I32.unsafe_get t.targets k)
     done
 
   (* The structural invariants every producer must establish; the Check
@@ -25,39 +88,104 @@ module Csr = struct
   let validate ?(sorted = false) t =
     let n = size t in
     if n < 0 then invalid_arg "Csr: offsets must have at least one entry";
-    if t.offsets.(0) <> 0 then invalid_arg "Csr: offsets must start at 0";
+    if I32.get t.offsets 0 <> 0 then invalid_arg "Csr: offsets must start at 0";
     for u = 0 to n - 1 do
-      if t.offsets.(u + 1) < t.offsets.(u) then
+      if I32.get t.offsets (u + 1) < I32.get t.offsets u then
         invalid_arg (Printf.sprintf "Csr: offsets decrease at row %d" u)
     done;
-    if t.offsets.(n) <> Array.length t.targets then
+    if I32.get t.offsets n <> I32.length t.targets then
       invalid_arg "Csr: final offset must equal the target count";
-    Array.iteri
-      (fun k v ->
-        if v < 0 || v >= n then
-          invalid_arg (Printf.sprintf "Csr: target %d at slot %d out of range" v k))
-      t.targets;
+    for k = 0 to I32.length t.targets - 1 do
+      let v = I32.get t.targets k in
+      if v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Csr: target %d at slot %d out of range" v k)
+    done;
     if sorted then
       for u = 0 to n - 1 do
-        for k = t.offsets.(u) + 1 to t.offsets.(u + 1) - 1 do
-          if t.targets.(k - 1) > t.targets.(k) then
-            invalid_arg (Printf.sprintf "Csr: row %d unsorted at entry %d" u (k - t.offsets.(u)))
+        for k = I32.get t.offsets u + 1 to I32.get t.offsets (u + 1) - 1 do
+          if I32.get t.targets (k - 1) > I32.get t.targets k then
+            invalid_arg
+              (Printf.sprintf "Csr: row %d unsorted at entry %d" u (k - I32.get t.offsets u))
         done
       done
 
+  let check_node_count n =
+    if n < 0 || n >= I32.max_value then
+      invalid_arg (Printf.sprintf "Csr: node count %d outside the int32-indexable range" n)
+
+  (* Streaming construction: rows appended one at a time (or one target at
+     a time) into a doubling flat buffer, so building an n-node network
+     needs O(row) transient state instead of materializing [n] jagged
+     rows. The network builders' streaming paths feed this directly. *)
+  module Builder = struct
+    type csr = t
+
+    type t = {
+      n : int;
+      offsets : I32.t;
+      mutable targets : I32.t;
+      mutable len : int; (* targets filled so far *)
+      mutable rows_done : int;
+    }
+
+    let create ?(edges_hint = 0) ~n () =
+      check_node_count n;
+      let cap = max 16 edges_hint in
+      let offsets = I32.create (n + 1) in
+      I32.unsafe_set offsets 0 0;
+      { n; offsets; targets = I32.create cap; len = 0; rows_done = 0 }
+
+    let grow b needed =
+      let cap = max needed (max 16 (2 * I32.length b.targets)) in
+      let cap = min cap I32.max_value in
+      if cap < needed then invalid_arg "Csr.Builder: edge count exceeds the int32 range";
+      let bigger = I32.create cap in
+      if b.len > 0 then I32.blit (I32.sub b.targets 0 b.len) (I32.sub bigger 0 b.len);
+      b.targets <- bigger
+
+    let add_target b v =
+      if b.rows_done >= b.n then invalid_arg "Csr.Builder: all rows already closed";
+      if v < 0 || v >= b.n then
+        invalid_arg (Printf.sprintf "Csr.Builder: target %d out of range" v);
+      if b.len >= I32.length b.targets then grow b (b.len + 1);
+      I32.unsafe_set b.targets b.len v;
+      b.len <- b.len + 1
+
+    let end_row b =
+      if b.rows_done >= b.n then invalid_arg "Csr.Builder: all rows already closed";
+      b.rows_done <- b.rows_done + 1;
+      I32.unsafe_set b.offsets b.rows_done b.len
+
+    let append_row b arr ~len =
+      for k = 0 to len - 1 do
+        add_target b arr.(k)
+      done;
+      end_row b
+
+    let finish b =
+      if b.rows_done <> b.n then
+        invalid_arg
+          (Printf.sprintf "Csr.Builder: %d of %d rows closed at finish" b.rows_done b.n);
+      (* Shrink to fit: the doubling buffer may overshoot by up to 2x. A
+         [sub] view would pin the full buffer; copy instead. *)
+      let targets = I32.create b.len in
+      if b.len > 0 then I32.blit (I32.sub b.targets 0 b.len) targets;
+      { offsets = b.offsets; targets }
+  end
+
   let of_rows rows =
     let n = Array.length rows in
-    let offsets = Array.make (n + 1) 0 in
-    for u = 0 to n - 1 do
-      offsets.(u + 1) <- offsets.(u) + Array.length rows.(u)
-    done;
-    let targets = Array.make offsets.(n) 0 in
-    Array.iteri (fun u ns -> Array.blit ns 0 targets offsets.(u) (Array.length ns)) rows;
-    let t = { offsets; targets } in
+    check_node_count n;
+    let edges = Array.fold_left (fun acc r -> acc + Array.length r) 0 rows in
+    let b = Builder.create ~edges_hint:edges ~n () in
+    Array.iter (fun r -> Builder.append_row b r ~len:(Array.length r)) rows;
+    let t = Builder.finish b in
     validate t;
     t
 
   let to_rows t = Array.init (size t) (fun u -> row t u)
+
+  let equal a b = I32.equal a.offsets b.offsets && I32.equal a.targets b.targets
 end
 
 type t = { out_neighbors : int array array }

@@ -2,22 +2,94 @@
     paper's overlay, where each node stores only the addresses of its
     neighbours. *)
 
+(** Flat int32 vectors ([Bigarray], C layout) — the storage type behind
+    every CSR structure. Half the footprint of [int array] (4 bytes per
+    entry instead of a tagged word), unscanned by the GC, and the exact
+    type [Unix.map_file] yields, so snapshots mmap straight into the
+    working representation. [get]/[unsafe_get] return untagged [int]s and
+    compile allocation-free (the [Int32.to_int] composition cancels the
+    box even without flambda — pinned by the Gc budgets in test_csr.ml). *)
+module I32 : sig
+  type t = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val max_value : int
+  (** Largest storable value (conservatively [0x3FFF_FFFF], which also
+      fits a 32-bit OCaml int). *)
+
+  val create : int -> t
+  (** Fresh uninitialised vector of the given length. *)
+
+  val length : t -> int
+
+  val get : t -> int -> int
+  (** Bounds-checked read. *)
+
+  val unsafe_get : t -> int -> int
+  (** Unchecked read — hot loops over validated structures only. *)
+
+  val set : t -> int -> int -> unit
+  (** Bounds- and range-checked write.
+      @raise Invalid_argument if the value does not fit. *)
+
+  val unsafe_set : t -> int -> int -> unit
+  (** Unchecked write for producers that have already range-checked. *)
+
+  val of_int_array : int array -> t
+  val to_int_array : t -> int array
+
+  val sub : t -> int -> int -> t
+  (** [sub a off len] is a shared view (no copy). *)
+
+  val blit : t -> t -> unit
+  val fill : t -> int -> unit
+  val equal : t -> t -> bool
+end
+
 (** Compressed sparse row (struct-of-arrays) form: all rows concatenated
-    into one flat [targets] array indexed through [offsets]. Row [u] is
+    into one flat [targets] vector indexed through [offsets]. Row [u] is
     [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]. Invariants
-    (established by {!Csr.of_rows}, re-checkable with {!Csr.validate}):
-    [offsets] is monotone non-decreasing, starts at 0, ends at
-    [Array.length targets]; every target is a valid node index. The record
-    is exposed so hot loops can scan the arrays directly — treat both
-    arrays as read-only. *)
+    (established by {!Csr.of_rows}/{!Csr.Builder.finish}, re-checkable
+    with {!Csr.validate}): [offsets] is monotone non-decreasing, starts
+    at 0, ends at [I32.length targets]; every target is a valid node
+    index. The record is exposed so hot loops can scan the vectors
+    directly — treat both as read-only. *)
 module Csr : sig
-  type t = { offsets : int array; targets : int array }
+  type t = { offsets : I32.t; targets : I32.t }
+
+  (** Streaming construction: append rows (or single targets) in node
+      order into a doubling flat buffer — O(current row) transient state,
+      never a jagged intermediate. *)
+  module Builder : sig
+    type csr = t
+    type t
+
+    val create : ?edges_hint:int -> n:int -> unit -> t
+    (** Builder for an [n]-node graph; [edges_hint] presizes the target
+        buffer. @raise Invalid_argument if [n] exceeds the int32-indexable
+        range. *)
+
+    val add_target : t -> int -> unit
+    (** Append one out-neighbour to the current (unfinished) row.
+        @raise Invalid_argument if out of range or all rows are closed. *)
+
+    val end_row : t -> unit
+    (** Close the current row and advance to the next node. *)
+
+    val append_row : t -> int array -> len:int -> unit
+    (** [append_row b scratch ~len]: add the first [len] entries of
+        [scratch] as one full row — the scratch array can be reused. *)
+
+    val finish : t -> csr
+    (** Seal into a CSR (shrinks the buffer to fit).
+        @raise Invalid_argument unless exactly [n] rows were closed. *)
+  end
 
   val of_rows : int array array -> t
   (** Flatten per-node rows; validates targets are in range. *)
 
   val to_rows : t -> int array array
-  (** Rebuild the jagged per-node view (fresh arrays). *)
+  (** Debug/test accessor: rebuild the jagged per-node view (fresh
+      arrays) — the compatibility view of the pre-Bigarray layout. *)
 
   val size : t -> int
   (** Number of nodes (rows). *)
@@ -32,7 +104,8 @@ module Csr : sig
   (** [nth t u k] is the [k]-th out-neighbour of [u]. *)
 
   val row : t -> int -> int array
-  (** Fresh copy of one row. *)
+  (** Debug/test accessor: fresh int-array copy of one row. Allocates per
+      call — warm paths use {!iter_row}/{!nth} or scan the vectors. *)
 
   val iter_row : t -> int -> (int -> unit) -> unit
   (** Apply to every out-neighbour of a node, in row order. *)
@@ -40,6 +113,9 @@ module Csr : sig
   val validate : ?sorted:bool -> t -> unit
   (** Re-check the structural invariants ([sorted] additionally demands
       every row be non-decreasing). @raise Invalid_argument on violation. *)
+
+  val equal : t -> t -> bool
+  (** Structural (byte) equality of both vectors. *)
 end
 
 type t
@@ -76,7 +152,7 @@ val degree_summary : t -> int * int * float
 (** (min, max, mean) out-degree. *)
 
 val to_csr : t -> Csr.t
-(** Flatten to the CSR form (fresh arrays). *)
+(** Flatten to the CSR form (fresh vectors). *)
 
 val of_csr : Csr.t -> t
 (** Rebuild the jagged form from CSR (fresh arrays). *)

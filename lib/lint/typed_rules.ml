@@ -25,6 +25,11 @@
       (tuples, records, non-constant constructors — including boxed
       float payloads — array literals, closures and partial
       applications), upgrading R5 beyond the List-combinator list.
+      Applications whose result type is [int32] are also allocations
+      (the box) unless directly wrapped in [Int32.to_int] — the
+      Adjacency.I32 accessor pattern, whose box/unbox pair cmmgen
+      cancels — so a hot loop reading a Bigarray without going through
+      the I32 accessors is caught here.
 
    Pass 1 registers nodes for every toplevel binding (with cross-unit
    names) and classifies toplevel globals; pass 2 walks bodies adding
@@ -305,6 +310,11 @@ let walk_unit t ui =
   let gate_depth = ref 0 in
   let loop_depth = ref 0 in
   let worker_arg_depth = ref 0 in
+  (* The application directly wrapped in [Int32.to_int ...], if the
+     walk is currently inside one: its box is cancelled by the unbox,
+     so the boxed-int32 check skips exactly that node (physical
+     equality — nested applications inside it still report). *)
+  let exempt_int32 : expression option ref = ref None in
   let resolve_path p =
     match p with
     | Path.Pident id -> Hashtbl.find_opt t.by_stamp (ui, Ident.unique_name id)
@@ -399,11 +409,11 @@ let walk_unit t ui =
         it.Tast_iterator.expr it body;
         decr loop_depth
     | Texp_apply (fn, args) ->
-        let boundary =
-          match fn.exp_desc with
-          | Texp_ident (p, _, _) -> is_worker_boundary (path_parts p)
-          | _ -> false
+        let fn_parts =
+          match fn.exp_desc with Texp_ident (p, _, _) -> path_parts p | _ -> []
         in
+        let boundary = is_worker_boundary fn_parts in
+        let unboxer = match fn_parts with [ "Int32"; "to_int" ] -> true | _ -> false in
         it.Tast_iterator.expr it fn;
         List.iter
           (fun (_, arg) ->
@@ -418,11 +428,27 @@ let walk_unit t ui =
                   it.Tast_iterator.expr it a;
                   decr worker_arg_depth
                 end
+                else if unboxer then begin
+                  let saved = !exempt_int32 in
+                  exempt_int32 := Some a;
+                  it.Tast_iterator.expr it a;
+                  exempt_int32 := saved
+                end
                 else it.Tast_iterator.expr it a)
           args;
-        (* A partial application materialises a closure. *)
+        (* A partial application materialises a closure; a fully-applied
+           call returning int32 materialises the box — unless the parent
+           is the Int32.to_int that cancels it, or the call is a ref
+           deref, which returns an already-allocated box. *)
         (match Types.get_desc e.exp_type with
         | Types.Tarrow _ -> record_alloc e.exp_loc "partial application (closure)"
+        | Types.Tconstr (p, _, _)
+          when (match dotted p with "int32" | "Int32.t" -> true | _ -> false)
+               && (match fn_parts with [ "!" ] -> false | _ -> true)
+               && not (match !exempt_int32 with Some ex -> ex == e | None -> false) ->
+            record_alloc e.exp_loc
+              "boxed int32 (unbox at the call with Int32.to_int, as the Adjacency.I32 \
+               accessors do)"
         | _ -> ())
     | Texp_function _ ->
         record_alloc e.exp_loc "closure";

@@ -1,0 +1,28 @@
+(* ftr-lint: hot -- fixture: opts this module into T4's int32 check *)
+
+(* T4 int32 fixtures: a hot loop reading an int32 Bigarray into a
+   binding — the box outlives the read and is a per-iteration
+   allocation — (positive), and the same loop with the read directly
+   wrapped in [Int32.to_int], the Adjacency.I32 accessor pattern whose
+   box/unbox pair cmmgen cancels (negative). *)
+
+type vec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let sum_boxed (a : vec) n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    let v = Bigarray.Array1.unsafe_get a i in
+    acc := !acc + Int32.to_int v
+  done;
+  !acc
+
+let sum_unboxed (a : vec) n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc + Int32.to_int (Bigarray.Array1.unsafe_get a i)
+  done;
+  !acc
+
+(* T3 on the Bigarray path: polymorphic [=] at an abstract Bigarray
+   type compares custom blocks — use Adjacency.I32.equal / Csr.equal. *)
+let vecs_equal (a : vec) (b : vec) = a = b

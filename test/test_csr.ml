@@ -124,7 +124,7 @@ let golden_figure6 () =
 (* CSR vs jagged view                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let row_of_csr { Csr.offsets; targets } u = Array.sub targets offsets.(u) (offsets.(u + 1) - offsets.(u))
+let row_of_csr c u = Csr.row c u
 
 let prop_csr_matches_jagged =
   QCheck.Test.make ~name:"network CSR rows equal the neighbors shim" ~count:40
@@ -154,6 +154,89 @@ let prop_csr_roundtrip =
       let c = Csr.of_rows rows in
       Csr.to_rows c = rows
       && Csr.edge_count c = Array.fold_left (fun a r -> a + Array.length r) 0 rows)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming vs materialized construction                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [Network.build_ideal] streams CSR rows straight into the builder;
+   [build_ideal_materialized] keeps the pre-refactor materialize-then-
+   convert path as the oracle. Same seed must mean byte-identical
+   networks — vectors compared with the Bigarray equalities, not through
+   any int-array shim — and, as a behavioural witness, identical route
+   outcomes on a shared pair stream. *)
+let prop_streaming_equals_materialized =
+  QCheck.Test.make ~name:"streaming build_ideal equals materialized oracle" ~count:40
+    QCheck.(triple (int_range 2 256) (int_range 0 8) small_int)
+    (fun (n, links, seed) ->
+      let module I32 = Ftr_graph.Adjacency.I32 in
+      let streamed = Network.build_ideal ~n ~links (Rng.of_int seed) in
+      let oracle = Network.build_ideal_materialized ~n ~links (Rng.of_int seed) in
+      let same_bytes =
+        I32.equal (Network.positions streamed) (Network.positions oracle)
+        && Csr.equal (Network.csr streamed) (Network.csr oracle)
+        && Network.line_size streamed = Network.line_size oracle
+        && Network.links streamed = Network.links oracle
+      in
+      let same_routes =
+        let pair_rng = Rng.of_int (seed + 1) in
+        let ok = ref true in
+        for _ = 1 to 16 do
+          let src = Rng.int pair_rng n and dst = Rng.int pair_rng n in
+          if
+            Route.route streamed ~src ~dst
+            <> Route.route oracle ~src ~dst
+          then ok := false
+        done;
+        !ok
+      in
+      same_bytes && same_routes)
+
+(* ------------------------------------------------------------------ *)
+(* Batch routing: jobs-invariance                                      *)
+(* ------------------------------------------------------------------ *)
+
+let with_seq_forced on f =
+  let old = Sys.getenv_opt "FTR_EXEC_SEQ" in
+  Unix.putenv "FTR_EXEC_SEQ" (if on then "1" else "0");
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "FTR_EXEC_SEQ" (match old with Some v -> v | None -> "0"))
+    f
+
+(* The batch layer's contract: the merged outcome vector is a pure
+   function of (network, pairs, options) — never of the worker count or
+   the scheduler. The reference is the plain sequential loop with the
+   same per-index rng derivation. *)
+let prop_batch_jobs_invariant =
+  QCheck.Test.make ~name:"Route_batch merged outcomes invariant across jobs" ~count:12
+    QCheck.(triple (int_range 16 192) (int_range 0 5) small_int)
+    (fun (n, links, seed) ->
+      let module Route_batch = Ftr_core.Route_batch in
+      let module Seed = Ftr_exec.Seed in
+      let rng = Rng.of_int seed in
+      let net = Network.build_ideal ~n ~links rng in
+      let mask = Failure.random_node_fraction rng ~n ~fraction:0.25 in
+      let failures = Failure.of_node_mask mask in
+      let alive = Ftr_graph.Bitset.get mask in
+      let rec live () =
+        let v = Rng.int rng n in
+        if alive v then v else live ()
+      in
+      let pairs = Array.init 97 (fun _ -> (live (), live ())) in
+      let strategy = Route.Random_reroute { attempts = 2 } in
+      let reference =
+        Array.mapi
+          (fun i (src, dst) ->
+            let rng = Seed.rng_for ~seed:11 ~index:i in
+            Route.route ~failures ~strategy ~rng net ~src ~dst)
+          pairs
+      in
+      let batch ~jobs =
+        (* chunk 16 forces several chunks per job even at small counts. *)
+        Route_batch.run ~jobs ~chunk:16 ~failures ~strategy ~seed:11 net ~pairs
+      in
+      List.for_all (fun jobs -> batch ~jobs = reference) [ 1; 2; 4 ]
+      && with_seq_forced true (fun () -> batch ~jobs:4 = reference))
 
 (* ------------------------------------------------------------------ *)
 (* Duplicate-entry policy (documented on Network.neighbors)            *)
@@ -306,5 +389,11 @@ let () =
         ] );
       ( "properties",
         List.map (fun p -> QCheck_alcotest.to_alcotest p)
-          [ prop_csr_matches_jagged; prop_csr_roundtrip; prop_duplicate_policy ] );
+          [
+            prop_csr_matches_jagged;
+            prop_csr_roundtrip;
+            prop_streaming_equals_materialized;
+            prop_batch_jobs_invariant;
+            prop_duplicate_policy;
+          ] );
     ]

@@ -46,7 +46,7 @@ let rules_of file =
 let test_corpus () =
   let state, _ = Lazy.force fixture in
   Alcotest.(check int)
-    "all six fixture units loaded" 6
+    "all seven fixture units loaded" 7
     (Array.length state.Typed_rules.units)
 
 (* T1: the cross-function race (run -> pool boundary -> job -> bump ->
@@ -117,6 +117,35 @@ let test_t4 () =
       Alcotest.(check string) "rule is T4" "T4" (Finding.rule_id f.rule);
       Alcotest.(check bool) "names the tuple allocation" true (contains f.message "tuple")
   | fs -> Alcotest.failf "expected exactly one T4 finding, got %d" (List.length fs)
+
+(* The Bigarray seams: a bare int32 Bigarray read in a hot loop boxes
+   its result and fires T4; the directly-wrapped [Int32.to_int (...)]
+   read next to it — the Adjacency.I32 accessor pattern — does not.
+   Polymorphic [=] at the abstract Bigarray type fires T3. *)
+
+let test_t4_int32 () =
+  let t4 =
+    List.filter
+      (fun ((f : Finding.t), _) -> String.equal (Finding.rule_id f.rule) "T4")
+      (fixture_findings "t4_int32.ml")
+  in
+  match t4 with
+  | [ (f, _) ] ->
+      Alcotest.(check bool) "names the int32 box" true (contains f.message "boxed int32");
+      Alcotest.(check bool) "points at the accessor idiom" true
+        (contains f.message "Int32.to_int")
+  | fs -> Alcotest.failf "expected exactly one T4 finding, got %d" (List.length fs)
+
+let test_t3_bigarray () =
+  let t3 =
+    List.filter
+      (fun ((f : Finding.t), _) -> String.equal (Finding.rule_id f.rule) "T3")
+      (fixture_findings "t4_int32.ml")
+  in
+  match t3 with
+  | [ (f, _) ] ->
+      Alcotest.(check bool) "blames the Bigarray type" true (contains f.message "Bigarray")
+  | fs -> Alcotest.failf "expected exactly one T3 finding, got %d" (List.length fs)
 
 (* Call graph: gated edges, forward/reverse BFS and witness chains. *)
 
@@ -219,6 +248,8 @@ let () =
           Alcotest.test_case "T2 nondeterminism-taint" `Quick test_t2;
           Alcotest.test_case "T3 typed-polymorphic-comparison" `Quick test_t3;
           Alcotest.test_case "T4 typed-hot-path-allocation" `Quick test_t4;
+          Alcotest.test_case "T4 boxed int32 in a hot loop" `Quick test_t4_int32;
+          Alcotest.test_case "T3 polymorphic compare at a Bigarray" `Quick test_t3_bigarray;
         ] );
       ( "machinery",
         [
