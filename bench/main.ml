@@ -1040,6 +1040,95 @@ let run_serve () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Lint: flow-stage analyzer throughput, cold vs warm cache            *)
+(* ------------------------------------------------------------------ *)
+
+(* The flow stage (D1-D4) is the expensive lint pass: it loads every
+   .cmt, builds per-function CFGs and runs the dataflow engine to
+   fixpoint. This section times it over the real tree twice against one
+   cache directory — the cold run analyzes every unit, the warm rerun
+   must analyze zero — and asserts the jobs-invariance contract (the
+   rendered finding stream at --jobs 1 and --jobs 4 must agree byte for
+   byte). The numbers land in BENCH_lint.json for machines to read. *)
+let write_lint_report report =
+  let path = "BENCH_lint.json" in
+  let oc = open_out path in
+  output_string oc (Ftr_obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[lint] wrote %s\n%!" path
+
+let run_lint () =
+  let module Flow_driver = Ftr_lint.Flow_driver in
+  let root =
+    let rec up d =
+      if Sys.file_exists (Filename.concat d "dune-project") then Some d
+      else
+        let parent = Filename.dirname d in
+        if String.equal parent d then None else up parent
+    in
+    up (Sys.getcwd ())
+  in
+  let dirs = [ "lib"; "bin"; "bench" ] in
+  match root with
+  | None ->
+      section "LINT — skipped: no dune-project above the working directory";
+      write_lint_report Ftr_obs.Json.(Obj [ ("skipped", Bool true) ])
+  | Some root ->
+      section
+        "LINT — flow-stage analyzer (D1-D4): cold vs warm incremental cache\n\
+         the finding stream is jobs-invariant by contract; the cache only moves the wall clock";
+      let cache = Filename.temp_file "ftr_lint_bench" "" in
+      Sys.remove cache;
+      Unix.mkdir cache 0o755;
+      Fun.protect ~finally:(fun () ->
+          Array.iter (fun f -> Sys.remove (Filename.concat cache f)) (Sys.readdir cache);
+          Unix.rmdir cache)
+      @@ fun () ->
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let (cold, cs), t_cold =
+        time (fun () -> Flow_driver.analyze ~cache_dir:cache ~root ~dirs ())
+      in
+      let (warm, ws), t_warm =
+        time (fun () -> Flow_driver.analyze ~cache_dir:cache ~root ~dirs ())
+      in
+      let render fs =
+        String.concat "\n" (List.map (fun (f, _) -> Ftr_lint.Finding.to_string f) fs)
+      in
+      let (j1, _), _ = time (fun () -> Flow_driver.analyze ~jobs:1 ~root ~dirs ()) in
+      let (j4, _), _ = time (fun () -> Flow_driver.analyze ~jobs:4 ~root ~dirs ()) in
+      let jobs_identical = String.equal (render j1) (render j4) in
+      let warm_identical = String.equal (render cold) (render warm) in
+      Printf.printf "%28s: %d units, %d analyzed, %d findings, %7.2f s\n%!" "cold cache"
+        cs.Flow_driver.fl_units cs.Flow_driver.fl_analyzed (List.length cold) t_cold;
+      Printf.printf "%28s: %d units, %d analyzed, %d cached, %7.2f s, speedup %5.2fx%s\n%!"
+        "warm cache" ws.Flow_driver.fl_units ws.Flow_driver.fl_analyzed ws.Flow_driver.fl_cached
+        t_warm (t_cold /. t_warm)
+        (if warm_identical && ws.Flow_driver.fl_analyzed = 0 then ""
+         else "  [CACHE CONTRACT BROKEN]");
+      Printf.printf "%28s: --jobs 1 vs --jobs 4 streams %s\n%!" "jobs invariance"
+        (if jobs_identical then "identical" else "DIFFER");
+      write_lint_report
+        Ftr_obs.Json.(
+          Obj
+            [
+              ("units", Int cs.Flow_driver.fl_units);
+              ("findings", Int (List.length cold));
+              ("cold_analyzed", Int cs.Flow_driver.fl_analyzed);
+              ("warm_analyzed", Int ws.Flow_driver.fl_analyzed);
+              ("warm_cached", Int ws.Flow_driver.fl_cached);
+              ("cold_seconds", Float t_cold);
+              ("warm_seconds", Float t_warm);
+              ("warm_speedup", Float (t_cold /. t_warm));
+              ("jobs_identical", Bool jobs_identical);
+              ("warm_identical", Bool warm_identical);
+            ])
+
+(* ------------------------------------------------------------------ *)
 (* Route throughput: flat-CSR router vs the pre-refactor reference     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1585,6 +1674,7 @@ let () =
   run_section "bench.tracing" run_tracing;
   run_section "bench.exec" run_exec;
   run_section "bench.serve" run_serve;
+  run_section "bench.lint" run_lint;
   run_section "bench.lower_bound" run_lower_bound_machinery;
   run_section "bench.ablations" run_ablations;
   run_section "bench.extensions" run_extensions;

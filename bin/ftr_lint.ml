@@ -1,15 +1,20 @@
 (* ftr_lint: the project static analyzer (docs/LINTING.md). Wired into
    `dune build @lint` alongside the runtime sanitizer battery; the
-   syntactic rules R1-R5 and the typed interprocedural rules T1-T4 live
-   in lib/lint.
+   syntactic rules R1-R5, the typed interprocedural rules T1-T4 and the
+   flow-sensitive rules D1-D4 live in lib/lint.
 
-     ftr_lint [DIR|FILE ...] [--stage syntactic|typed|all] [--typed]
+     ftr_lint [DIR|FILE ...] [--stage syntactic|typed|flow|all]
+              [--typed] [--flow] [--jobs N] [--cache DIR]
+              [--profile default|test]
               [--baseline FILE] [--update-baseline] [--write-baseline FILE]
-              [--json FILE] [--quiet]
+              [--json FILE] [--timings] [--quiet]
 
-   The typed stage reads the .cmt files a prior `dune build` produced
-   (under the scanned directories in a build context, or under
-   _build/default from a checkout).
+   The typed and flow stages read the .cmt files a prior `dune build`
+   produced (under the scanned directories in a build context, or under
+   _build/default from a checkout). The flow stage fans per-unit
+   analysis out over Ftr_exec.Pool (--jobs, FTR_EXEC_SEQ honoured) and
+   caches per-unit results keyed by .cmt digest + analyzer version
+   (--cache DIR).
 
    Exit status: 0 clean (modulo baseline), 1 findings, 2 usage or parse
    error. *)
@@ -21,22 +26,47 @@ let () =
   let update_baseline = ref false in
   let json = ref None in
   let quiet = ref false in
+  let timings = ref false in
+  let jobs = ref None in
+  let cache_dir = ref None in
+  let profile_test = ref false in
   let stages = ref [ Ftr_lint.Finding.Syntactic ] in
   let usage = "usage: ftr_lint [DIR|FILE ...] [options]" in
   let set_stage = function
     | "syntactic" -> stages := [ Ftr_lint.Finding.Syntactic ]
     | "typed" -> stages := [ Ftr_lint.Finding.Typed ]
-    | "all" -> stages := [ Ftr_lint.Finding.Syntactic; Ftr_lint.Finding.Typed ]
+    | "flow" -> stages := [ Ftr_lint.Finding.Flow ]
+    | "all" ->
+        stages := [ Ftr_lint.Finding.Syntactic; Ftr_lint.Finding.Typed; Ftr_lint.Finding.Flow ]
     | s ->
-        Printf.eprintf "ftr_lint: unknown stage %S (expected syntactic, typed or all)\n" s;
+        Printf.eprintf
+          "ftr_lint: unknown stage %S (expected syntactic, typed, flow or all)\n%s\n" s usage;
+        exit 2
+  in
+  let set_profile = function
+    | "default" -> profile_test := false
+    | "test" -> profile_test := true
+    | s ->
+        Printf.eprintf "ftr_lint: unknown profile %S (expected default or test)\n%s\n" s usage;
         exit 2
   in
   let spec =
     [
       ( "--stage",
         Arg.String set_stage,
-        "STAGE run `syntactic` (R1-R5, default), `typed` (T1-T4 over .cmt files) or `all`" );
+        "STAGE run `syntactic` (R1-R5, default), `typed` (T1-T4), `flow` (D1-D4) or `all`" );
       ("--typed", Arg.Unit (fun () -> set_stage "typed"), " shorthand for --stage typed");
+      ("--flow", Arg.Unit (fun () -> set_stage "flow"), " shorthand for --stage flow");
+      ( "--jobs",
+        Arg.Int (fun n -> jobs := Some n),
+        "N flow-stage worker domains (default: pool default; FTR_EXEC_SEQ=1 forces sequential)"
+      );
+      ( "--cache",
+        Arg.String (fun d -> cache_dir := Some d),
+        "DIR incremental flow-stage cache keyed by .cmt digest + analyzer version" );
+      ( "--profile",
+        Arg.String set_profile,
+        "PROFILE `default`, or `test` (R1/T2 tolerated — tests drive clocks and randomness)" );
       ( "--baseline",
         Arg.String (fun p -> baseline := Some p),
         "FILE tolerate the findings recorded in FILE (see docs/LINTING.md)" );
@@ -47,6 +77,10 @@ let () =
         Arg.String (fun p -> write_baseline := Some p),
         "FILE record current findings of the selected stages into FILE and exit 0" );
       ("--json", Arg.String (fun p -> json := Some p), "FILE also write a JSON report to FILE");
+      ( "--timings",
+        Arg.Set timings,
+        " include per-stage wall time in the JSON report (off by default: lint.json stays \
+         byte-identical run to run)" );
       ("--quiet", Arg.Set quiet, " print only the summary line, not each finding");
     ]
   in
@@ -60,4 +94,5 @@ let () =
   in
   exit
     (Ftr_lint.Driver.run ?baseline:!baseline ?write_baseline ?json:!json ~quiet:!quiet
-       ~stages:!stages ~dirs ())
+       ~stages:!stages ?jobs:!jobs ?cache_dir:!cache_dir ~profile_test:!profile_test
+       ~timings:!timings ~dirs ())

@@ -66,6 +66,34 @@ let dummy_scratch = { stamps = [||]; epoch = 0; bt_hist = [||] }
 let dls_scratch : scratch option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
+(* A borrowed scratch: the working state plus the domain-local cell it
+   must be returned to, when it came from one. [borrow_scratch] and
+   [restore_scratch] are the named seams the flow lint's route-scratch
+   typestate rule (D2, docs/LINTING.md) tracks: every borrow must reach
+   [restore_scratch] on all paths, which the [Fun.protect] in [route]
+   guarantees even on the sanitizer's exception paths. *)
+type borrowed = { bs : scratch; bs_home : scratch option ref option }
+
+let borrow_scratch ?scr ~tracking net =
+  match scr with
+  | Some s -> { bs = s; bs_home = None }
+  (* Selected only when tracking is off, and every scratch write in
+     [route] is tracking-guarded: a shared read-only sentinel.
+     ftr-lint: disable T1 *)
+  | None when not tracking -> { bs = dummy_scratch; bs_home = None }
+  | None ->
+      let cell = Domain.DLS.get dls_scratch in
+      let s =
+        match !cell with
+        | Some s ->
+            cell := None;
+            s
+        | None -> scratch net
+      in
+      { bs = s; bs_home = Some cell }
+
+let restore_scratch b = match b.bs_home with Some cell -> cell := Some b.bs | None -> ()
+
 (* Sanitizer hook: a hop chosen in [`Strict] mode must obey the greedy
    contract — strictly decrease the routing distance, and on one-sided
    networks never overshoot the target (Section 4.2.1). [best_neighbor]
@@ -130,25 +158,8 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
      the stamp array (epoch 0 is the "no tracking" sentinel below) and its
      allocation when the caller supplied no scratch. *)
   let tracking = match strategy with Backtrack _ -> true | Terminate | Random_reroute _ -> false in
-  let restore = ref (fun () -> ()) in
-  let s =
-    match scr with
-    | Some s -> s
-    (* Selected only when tracking is off, and every scratch write below is
-       tracking-guarded: a shared read-only sentinel. ftr-lint: disable T1 *)
-    | None when not tracking -> dummy_scratch
-    | None ->
-        let cell = Domain.DLS.get dls_scratch in
-        let s =
-          match !cell with
-          | Some s ->
-              cell := None;
-              s
-          | None -> scratch net
-        in
-        restore := (fun () -> cell := Some s);
-        s
-  in
+  let borrowed = borrow_scratch ?scr ~tracking net in
+  let s = borrowed.bs in
   let stamps, epoch =
     if tracking then begin
       if Array.length s.stamps < I32.get offsets n then begin
@@ -204,25 +215,29 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   in
   (* Flight-recorder verdict for a candidate the liveness conjunction
      rejected: re-run the conjuncts one by one to name the first that
-     failed. Reached only under [tracing], so the recomputation (and the
-     record's allocation, inside [Ftr_obs.Tracing]) costs nothing when the
-     recorder is off. *)
+     failed. Every call site already sits under [tracing], and the body
+     re-checks it so the write is gated on every path through the
+     closure itself (rule D1): one redundant immediate bool, and the
+     recomputation (plus the record's allocation, inside
+     [Ftr_obs.Tracing]) still costs nothing when the recorder is off. *)
   let record_excluded ~cur ~k ~v ~dist =
-    let base = I32.unsafe_get offsets cur in
-    let verdict =
-      if not (link_all || Failure.link_alive failures ~src:cur ~idx:k) then
-        Ftr_obs.Tracing.Dead_link
-      else if
-        not
-          (match node_bits with
-          | Some b -> Bitset.unsafe_get b v
-          | None -> node_all || Failure.node_alive failures v)
-      then Ftr_obs.Tracing.Dead_node
-      else if epoch <> 0 && Array.unsafe_get stamps (base + k) = epoch then
-        Ftr_obs.Tracing.Already_tried
-      else Ftr_obs.Tracing.Not_closer
-    in
-    Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist verdict
+    if tracing then begin
+      let base = I32.unsafe_get offsets cur in
+      let verdict =
+        if not (link_all || Failure.link_alive failures ~src:cur ~idx:k) then
+          Ftr_obs.Tracing.Dead_link
+        else if
+          not
+            (match node_bits with
+            | Some b -> Bitset.unsafe_get b v
+            | None -> node_all || Failure.node_alive failures v)
+        then Ftr_obs.Tracing.Dead_node
+        else if epoch <> 0 && Array.unsafe_get stamps (base + k) = epoch then
+          Ftr_obs.Tracing.Already_tried
+        else Ftr_obs.Tracing.Not_closer
+      in
+      Ftr_obs.Tracing.candidate tr ~cur ~cand:v ~dist verdict
+    end
   in
   let best_neighbor ~mode ~cur ~dst =
     let dst_pos = I32.unsafe_get positions dst in
@@ -382,7 +397,7 @@ let route ?(failures = Failure.none) ?(side = Two_sided) ?(strategy = Terminate)
   let outcome =
   (* [finally] returns the borrowed domain-local scratch even on the
      sanitizer's exception paths. *)
-  Fun.protect ~finally:(fun () -> !restore ()) @@ fun () ->
+  Fun.protect ~finally:(fun () -> restore_scratch borrowed) @@ fun () ->
   match strategy with
   | Terminate ->
       let terminus, h, out_of_budget = greedy_leg ~start:src ~target:dst ~hops:0 in

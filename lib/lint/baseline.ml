@@ -9,10 +9,10 @@
      syn:R2<TAB>lib/foo/bar.ml<TAB>Array.sort compare arr;
      typed:T1<TAB>lib/foo/baz.ml<TAB>Hashtbl.replace table k v
 
-   The rule field carries a stage namespace prefix ([syn:] or [typed:])
-   so syntactic and typed entries coexist unambiguously in one file;
-   bare rule ids from pre-typed-stage baselines are still accepted on
-   read and normalised to the rule's own stage. Matching is multiset
+   The rule field carries a stage namespace prefix ([syn:], [typed:] or
+   [flow:]) so entries from all stages coexist unambiguously in one
+   file; bare rule ids from pre-typed-stage baselines are still accepted
+   on read and normalised to the rule's own stage. Matching is multiset
    semantics: an entry absorbs exactly one finding with the same key, so
    two identical violations on two lines need two entries. *)
 
@@ -39,8 +39,12 @@ let entry_of_finding ~source_line (f : Finding.t) =
 
 (* Stage of a (normalised) entry, for stage-selective regeneration. *)
 let entry_stage e =
-  if String.length e.b_rule >= 6 && String.equal (String.sub e.b_rule 0 6) "typed:" then
-    Finding.Typed
+  let has_prefix p =
+    let n = String.length p in
+    String.length e.b_rule >= n && String.equal (String.sub e.b_rule 0 n) p
+  in
+  if has_prefix "typed:" then Finding.Typed
+  else if has_prefix "flow:" then Finding.Flow
   else Finding.Syntactic
 
 let parse_line line =

@@ -49,7 +49,11 @@ let read_file path =
 let lint_file path = lint_string ~file:path (read_file path)
 
 (* Every .ml/.mli under [dirs], depth-first, children in sorted order so
-   reports and baselines are themselves deterministic. *)
+   reports and baselines are themselves deterministic. [lint_fixture]
+   children are skipped — those sources violate rules on purpose (the
+   compiled fixture corpus under test/) — but naming such a directory
+   directly as a root still scans it, which is how the fixture tests
+   run. *)
 let find_sources dirs =
   let rec walk acc path =
     if Sys.is_directory path then
@@ -57,7 +61,10 @@ let find_sources dirs =
       |> List.sort String.compare
       |> List.fold_left
            (fun acc name ->
-             if String.length name = 0 || name.[0] = '.' || String.equal name "_build" then acc
+             if
+               String.length name = 0 || name.[0] = '.' || String.equal name "_build"
+               || String.equal name "lint_fixture"
+             then acc
              else walk acc (Filename.concat path name))
            acc
     else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
@@ -66,57 +73,125 @@ let find_sources dirs =
   in
   List.rev (List.fold_left walk [] dirs)
 
-let write_json_report path ~stages ~files ~fresh ~baselined ~stale =
+(* [timings] is opt-in (the --timings flag): wall time varies run to
+   run, and @lint-report's lint.json must stay byte-identical under
+   --force. The flow cache counters are deterministic for a fixed
+   invocation, so they always appear when the flow stage ran. *)
+let write_json_report path ~stages ~files ~fresh ~baselined ~stale ~flow_stats ~timings =
   let oc = open_out_bin path in
   Printf.fprintf oc
     {|{"tool":"ftr_lint","analyzer_version":"%s","stages":[%s],"files":%d,"baselined":%d,"stale_baseline":%d,|}
     Finding.analyzer_version
     (String.concat "," (List.map (fun s -> "\"" ^ Finding.stage_id s ^ "\"") stages))
     files baselined stale;
+  (match flow_stats with
+  | Some (s : Flow_driver.stats) ->
+      Printf.fprintf oc {|"flow_units":%d,"flow_analyzed":%d,"flow_cached":%d,|}
+        s.Flow_driver.fl_units s.Flow_driver.fl_analyzed s.Flow_driver.fl_cached
+  | None -> ());
+  (match timings with
+  | Some ts ->
+      Printf.fprintf oc {|"stage_seconds":{%s},|}
+        (String.concat ","
+           (List.map
+              (fun (stage, secs) ->
+                Printf.sprintf {|"%s":%.6f|} (Finding.stage_id stage) secs)
+              ts))
+  | None -> ());
   Printf.fprintf oc {|"findings":[%s]}|}
     (String.concat "," (List.map (fun (f, _) -> Finding.to_json f) fresh));
   output_char oc '\n';
   close_out oc
 
 (* Exit status: 0 clean (modulo baseline), 1 findings, 2 usage/parse
-   error. [stages] selects which analyses run; findings from both are
-   merged into one sorted stream before the baseline applies.
+   error. [stages] selects which analyses run; findings from all of
+   them are merged into one sorted stream before the baseline applies.
    [write_baseline] regenerates the baseline file mechanically from the
    current findings of the *selected* stages — entries belonging to
    unselected stages are carried over from the existing file untouched,
-   so `--stage typed --update-baseline` cannot eat syntactic entries. *)
+   so `--stage typed --update-baseline` cannot eat syntactic entries.
+
+   When the flow stage runs, syntactic R3/R4 findings in files the flow
+   corpus covers are dropped: D1's path-sensitive gate dominance
+   supersedes their 3-ancestor heuristic, which survives only as the
+   parse-only fallback for files with no .cmt (and for flow-less runs).
+
+   [profile_test] is the relaxed test profile: R1 (tests drive wall
+   clocks freely) and T2 (its propagation) findings are dropped,
+   everything else is enforced. [jobs]/[cache_dir] thread through to
+   the flow stage's pool fan-out and incremental cache. *)
 let run ?baseline ?write_baseline ?json ?(quiet = false)
-    ?(stages = [ Finding.Syntactic ]) ~dirs () =
+    ?(stages = [ Finding.Syntactic ]) ?jobs ?cache_dir ?(profile_test = false)
+    ?(timings = false) ~dirs () =
   match List.filter (fun d -> not (Sys.file_exists d)) dirs with
   | missing :: _ ->
       Printf.eprintf "ftr_lint: no such file or directory: %s\n" missing;
       2
   | [] -> (
+      let stage_seconds = ref [] in
+      let timed stage f =
+        let t0 = Ftr_exec.Clock.now () in
+        let r = f () in
+        stage_seconds := (stage, Ftr_exec.Clock.now () -. t0) :: !stage_seconds;
+        r
+      in
       let syntactic =
         if not (List.mem Finding.Syntactic stages) then []
         else
-          find_sources dirs
-          |> List.concat_map (fun path ->
-                 try lint_file path
-                 with exn ->
-                   Location.report_exception Format.err_formatter exn;
-                   Printf.eprintf "ftr_lint: cannot parse %s\n" path;
-                   exit 2)
+          timed Finding.Syntactic (fun () ->
+              find_sources dirs
+              |> List.concat_map (fun path ->
+                     try lint_file path
+                     with exn ->
+                       Location.report_exception Format.err_formatter exn;
+                       Printf.eprintf "ftr_lint: cannot parse %s\n" path;
+                       exit 2))
       in
       let typed_state, typed =
         if not (List.mem Finding.Typed stages) then (None, [])
         else
-          let state, found = Typed_driver.analyze ~root:"." ~dirs in
-          (Some state, found)
+          timed Finding.Typed (fun () ->
+              let state, found = Typed_driver.analyze ~root:"." ~dirs in
+              (Some state, found))
+      in
+      let flow_stats, flow =
+        if not (List.mem Finding.Flow stages) then (None, [])
+        else
+          timed Finding.Flow (fun () ->
+              let found, stats = Flow_driver.analyze ?jobs ?cache_dir ~root:"." ~dirs () in
+              (Some stats, found))
+      in
+      let flow_covered =
+        match flow_stats with
+        | None -> fun _ -> false
+        | Some s ->
+            let tbl = Hashtbl.create 64 in
+            List.iter (fun src -> Hashtbl.replace tbl src ()) s.Flow_driver.fl_sources;
+            fun file -> Hashtbl.mem tbl file
+      in
+      let syntactic =
+        List.filter
+          (fun ((f : Finding.t), _) ->
+            match f.rule with
+            | Finding.R3 | Finding.R4 -> not (flow_covered f.file)
+            | _ -> true)
+          syntactic
+      in
+      let profile_drop (f : Finding.t) =
+        profile_test && match f.rule with Finding.R1 | Finding.T2 -> true | _ -> false
       in
       let all =
         List.sort
           (fun ((a : Finding.t), _) ((b : Finding.t), _) -> Finding.compare_findings a b)
-          (syntactic @ typed)
+          (List.filter (fun (f, _) -> not (profile_drop f)) (syntactic @ typed @ flow))
       in
       let files =
         if List.mem Finding.Syntactic stages then List.length (find_sources dirs)
-        else match typed_state with Some s -> Array.length s.Typed_rules.units | None -> 0
+        else
+          match (typed_state, flow_stats) with
+          | Some s, _ -> Array.length s.Typed_rules.units
+          | None, Some s -> s.Flow_driver.fl_units
+          | None, None -> 0
       in
       match write_baseline with
       | Some path ->
@@ -148,7 +223,9 @@ let run ?baseline ?write_baseline ?json ?(quiet = false)
           in
           let fresh, baselined, stale = Baseline.apply entries all in
           (match json with
-          | Some path -> write_json_report path ~stages ~files ~fresh ~baselined ~stale
+          | Some path ->
+              write_json_report path ~stages ~files ~fresh ~baselined ~stale ~flow_stats
+                ~timings:(if timings then Some (List.rev !stage_seconds) else None)
           | None -> ());
           if not quiet then List.iter (fun (f, _) -> print_endline (Finding.to_string f)) fresh;
           if stale > 0 then
@@ -157,6 +234,11 @@ let run ?baseline ?write_baseline ?json ?(quiet = false)
                --update-baseline)\n"
               stale
               (if stale = 1 then "y" else "ies");
+          (match flow_stats with
+          | Some s ->
+              Printf.printf "ftr_lint: flow stage %d unit(s), %d analyzed, %d cached\n"
+                s.Flow_driver.fl_units s.Flow_driver.fl_analyzed s.Flow_driver.fl_cached
+          | None -> ());
           Printf.printf "ftr_lint: %d file(s), %d finding(s), %d baselined\n" files
             (List.length fresh) baselined;
           (match fresh with [] -> 0 | _ -> 1))

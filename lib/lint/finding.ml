@@ -2,22 +2,25 @@
    closed and small on purpose: each rule protects a property the paper's
    reproduction depends on (docs/LINTING.md maps rule -> property).
 
-   Rules come in two stages. R1-R5 are syntactic: one Parsetree walk per
-   file, no types, heuristics tuned to this tree's idioms (rules.ml).
+   Rules come in three stages. R1-R5 are syntactic: one Parsetree walk
+   per file, no types, heuristics tuned to this tree's idioms (rules.ml).
    T1-T4 are typed and interprocedural: they load the .cmt files dune
    already produces, build a call graph over the Typedtree and reason
    about worker-domain reachability, taint and real instantiation types
-   (typed_rules.ml). *)
+   (typed_rules.ml). D1-D4 are flow-sensitive: per-function control-flow
+   graphs over the same Typedtree, a forward dataflow engine run to
+   fixpoint, and declarative typestate automata (cfg.ml, dataflow.ml,
+   typestate.ml, flow_rules.ml). *)
 
-type rule = R1 | R2 | R3 | R4 | R5 | T1 | T2 | T3 | T4
+type rule = R1 | R2 | R3 | R4 | R5 | T1 | T2 | T3 | T4 | D1 | D2 | D3 | D4
 
-type stage = Syntactic | Typed
+type stage = Syntactic | Typed | Flow
 
 (* Bumped whenever a rule's detection logic changes enough that recorded
    reports are no longer comparable run-to-run; surfaced in lint.json. *)
-let analyzer_version = "2.0"
+let analyzer_version = "3.0"
 
-let all_rules = [ R1; R2; R3; R4; R5; T1; T2; T3; T4 ]
+let all_rules = [ R1; R2; R3; R4; R5; T1; T2; T3; T4; D1; D2; D3; D4 ]
 
 let rule_id = function
   | R1 -> "R1"
@@ -29,6 +32,10 @@ let rule_id = function
   | T2 -> "T2"
   | T3 -> "T3"
   | T4 -> "T4"
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
 
 let rule_name = function
   | R1 -> "nondeterminism-source"
@@ -40,16 +47,21 @@ let rule_name = function
   | T2 -> "nondeterminism-taint"
   | T3 -> "typed-polymorphic-comparison"
   | T4 -> "typed-hot-path-allocation"
+  | D1 -> "gate-dominance"
+  | D2 -> "resource-typestate"
+  | D3 -> "message-protocol"
+  | D4 -> "loop-invariant-flag-reload"
 
 let stage_of_rule = function
   | R1 | R2 | R3 | R4 | R5 -> Syntactic
   | T1 | T2 | T3 | T4 -> Typed
+  | D1 | D2 | D3 | D4 -> Flow
 
-let stage_id = function Syntactic -> "syntactic" | Typed -> "typed"
+let stage_id = function Syntactic -> "syntactic" | Typed -> "typed" | Flow -> "flow"
 
-(* The baseline's rule-namespace prefix, so syntactic and typed entries
+(* The baseline's rule-namespace prefix, so entries from all stages
    coexist in one file without ambiguity (baseline.ml). *)
-let stage_namespace = function Syntactic -> "syn" | Typed -> "typed"
+let stage_namespace = function Syntactic -> "syn" | Typed -> "typed" | Flow -> "flow"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -61,6 +73,10 @@ let rule_of_id = function
   | "T2" -> Some T2
   | "T3" -> Some T3
   | "T4" -> Some T4
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
   | _ -> None
 
 type t = { file : string; line : int; col : int; rule : rule; message : string }

@@ -1,0 +1,39 @@
+(* D2 route-scratch fixture: [leaky] borrows and forgets to restore on
+   the error path (one positive finding); [clean] is the lib/core/route.ml
+   idiom — borrow once, route under Fun.protect, restore in [finally] —
+   and must stay silent. *)
+
+type scratch = { mutable epoch : int }
+type borrowed = { bs : scratch; bs_home : scratch option ref option }
+
+let cell : scratch option ref = ref None
+
+let borrow_scratch () =
+  match !cell with
+  | Some s ->
+      cell := None;
+      { bs = s; bs_home = Some cell }
+  | None -> { bs = { epoch = 0 }; bs_home = Some cell }
+
+let restore_scratch b = match b.bs_home with Some c -> c := Some b.bs | None -> ()
+
+(* Positive: the [n < 0] branch raises after the borrow with no restore
+   and no Fun.protect, so the scratch leaks on that path. *)
+let leaky n =
+  let b = borrow_scratch () in
+  if n < 0 then invalid_arg "leaky";
+  b.bs.epoch <- b.bs.epoch + 1;
+  let r = b.bs.epoch in
+  if n > 10 then r
+  else begin
+    restore_scratch b;
+    r
+  end
+
+(* Negative: restore runs on every path, exceptions included. *)
+let clean n =
+  let b = borrow_scratch () in
+  Fun.protect ~finally:(fun () -> restore_scratch b) @@ fun () ->
+  if n < 0 then invalid_arg "clean";
+  b.bs.epoch <- b.bs.epoch + 1;
+  b.bs.epoch

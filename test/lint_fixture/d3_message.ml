@@ -1,0 +1,21 @@
+(* D3 message-protocol fixture. The local [Message] module mirrors
+   lib/svc: [Query] is declared but never headed explicitly in any
+   dispatch while a catch-all arm exists, so D3a flags its declaration
+   (one positive); [Ping]/[Pong] are headed and stay silent. [raw_push]
+   mutates envelope-carrying storage outside Mailbox (one D3b positive);
+   [ok_queue] mutates an envelope-free queue and stays silent. *)
+
+module Message = struct
+  type payload = Ping | Pong of int | Query of string
+  type envelope = { seq : int; body : payload }
+end
+
+(* Dispatch with a catch-all: [Query] would be swallowed silently. *)
+let dispatch (p : Message.payload) =
+  match p with Message.Ping -> 0 | Message.Pong n -> n | _ -> -1
+
+(* Positive (D3b): raw mutation of an envelope queue. *)
+let raw_push (q : Message.envelope Queue.t) (e : Message.envelope) = Queue.add e q
+
+(* Negative (D3b): no envelope anywhere in the mutated type. *)
+let ok_queue (q : int Queue.t) n = Queue.add n q

@@ -1,0 +1,21 @@
+(* D4 loop-invariant flag reload fixture. The module opts into the hot
+   profile below, so the invariant re-read in [spin] is flagged (one
+   positive) while [spin_dirty]'s loop body toggles the flag and stays
+   silent. ftr-lint: hot fixture exercises the hot-loop rules *)
+
+(* Positive: Flag.enabled re-read every iteration, body never writes it. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if Ftr_obs.Flag.enabled () then acc := !acc + i
+  done;
+  !acc
+
+(* Negative: with_mode in the body makes the flag loop-variant. *)
+let spin_dirty n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    Ftr_obs.Flag.with_mode false (fun () -> acc := !acc + i);
+    if Ftr_obs.Flag.enabled () then incr acc
+  done;
+  !acc

@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file R2 test assertions compare small concrete values *)
 module Chord = Ftr_baselines.Chord
 module Kleinberg = Ftr_baselines.Kleinberg
 module Lattice = Ftr_baselines.Lattice

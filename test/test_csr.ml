@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file T3 test assertions compare small concrete values *)
 (* The flat-CSR refactor's safety net.
 
    The golden values below were recorded from the pre-refactor tree (the

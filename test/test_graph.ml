@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file R2 test assertions compare small concrete values *)
 module Bitset = Ftr_graph.Bitset
 module Adjacency = Ftr_graph.Adjacency
 module Bfs = Ftr_graph.Bfs

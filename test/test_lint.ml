@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file R5 embedded lint samples carry a hot marker; the test file itself has no hot path *)
 (* ftr_lint analyzer tests: one positive + one negative fixture per rule,
    the suppression directives, the baseline round-trip, and finally the
    analyzer applied to the real tree (which must be clean modulo the

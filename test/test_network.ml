@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file T3 test assertions compare small concrete values *)
 module Network = Ftr_core.Network
 module Rng = Ftr_prng.Rng
 module Sample = Ftr_prng.Sample

@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file T3 test assertions compare small concrete values *)
 module Network = Ftr_core.Network
 module Stats = Ftr_core.Network_stats
 module Summary = Ftr_stats.Summary

@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file R2 T3 test assertions compare small concrete values *)
 module Heap = Ftr_sim.Heap
 module Engine = Ftr_sim.Engine
 module Trace = Ftr_sim.Trace

@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file T3 test assertions compare small concrete values *)
 (* Snapshot persistence: round-trip fidelity and corrupted-file refusal.
 
    The format is a fixed 64-byte header plus three native-int32 sections

@@ -1,3 +1,4 @@
+(* ftr-lint: disable-file R2 test assertions compare small concrete values *)
 (* The message-passing overlay service: deterministic mailboxes, the
    round scheduler's jobs-invariance (including under mid-run churn), the
    equivalence of served lookups with the synchronous overlay path, and a
